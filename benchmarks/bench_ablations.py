@@ -1,0 +1,64 @@
+"""Benchmarks E-AB1..3: design-choice ablations from DESIGN.md."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (QUICK, run_baseline_ablation,
+                        run_dummy_count_ablation, run_hammer_mode_ablation)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_hammer_modes(benchmark, record_artifact):
+    result = benchmark.pedantic(lambda: run_hammer_mode_ablation(QUICK),
+                                rounds=1, iterations=1)
+    record_artifact("ablation_modes", result.render())
+    by_mode = {row[0]: row[2] for row in result.rows}
+    # 5.2: interleaved hammering disturbs far more per activation.
+    assert by_mode["interleaved"] > by_mode["cascaded"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_dummy_count(benchmark, record_artifact):
+    result = benchmark.pedantic(lambda: run_dummy_count_ablation(QUICK),
+                                rounds=1, iterations=1)
+    record_artifact("ablation_dummies", result.render())
+    flips = {row[0]: row[1] for row in result.rows}
+    # Fewer dummies than table entries leave aggressors tracked.
+    assert flips[16] > flips[4]
+    assert flips[16] > 0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_baselines(benchmark, record_artifact):
+    result = benchmark.pedantic(lambda: run_baseline_ablation(QUICK),
+                                rounds=1, iterations=1)
+    record_artifact("ablation_baselines", result.render())
+    rows = {(row[0], row[1]): row[2] for row in result.rows}
+    # Footnote 18: classic patterns flip nothing on protected modules.
+    for module_id in ("A0", "B8", "C9"):
+        assert rows[(module_id, "single-sided")] == 0
+        assert rows[(module_id, "double-sided")] == 0
+    # The same double-sided pattern rips through an unprotected chip,
+    # and every custom pattern beats every baseline.
+    assert rows[("no-TRR", "double-sided")] > 0
+    assert rows[("A0", "vendor-a-custom")] > rows[("A0", "12-sided")]
+    assert rows[("B8", "vendor-b-custom")] > rows[("B8", "12-sided")]
+    assert rows[("C9", "vendor-c-custom")] > rows[("C9", "12-sided")]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_mitigations(benchmark, record_artifact):
+    from repro.eval import run_mitigation_ablation
+    result = benchmark.pedantic(lambda: run_mitigation_ablation(QUICK),
+                                rounds=1, iterations=1)
+    record_artifact("ablation_mitigations", result.render())
+    rows = {(row[0], row[1]): row[2] for row in result.rows}
+    # The custom pattern defeats its TRR but classic hammering does not.
+    assert rows[("A_TRR1", "vendor-a-custom")] > 0
+    assert rows[("A_TRR1", "double-sided")] == 0
+    # Against stateless PARA, diversion buys nothing over double-sided.
+    assert (rows[("PARA 1/2000", "vendor-a-custom")]
+            <= rows[("PARA 1/2000", "double-sided")])
+    # A strong-enough coin blocks everything.
+    assert rows[("PARA 1/250", "vendor-a-custom")] == 0

@@ -1,0 +1,74 @@
+"""Component benchmarks: throughput of the methodology's building blocks.
+
+Not paper artifacts — these track the library's own performance so
+regressions in the simulator or the tools show up in benchmark history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (ProfilingConfig, RefreshCalibrator, RowGroupLayout,
+                        RowScout)
+from repro.dram import (AllOnes, DeviceConfig, DisturbanceConfig, DramChip,
+                        RetentionConfig)
+from repro.softmc import SoftMCHost
+from repro.trr import CounterBasedTrr
+
+CONFIG = DeviceConfig(
+    name="component-bench", serial=9, num_banks=4, rows_per_bank=4096,
+    row_bits=1024, refresh_cycle_refs=1024,
+    retention=RetentionConfig(weak_cells_per_row_mean=2.0,
+                              vrt_fraction=0.0),
+    disturbance=DisturbanceConfig(hc_first=12_000))
+
+
+def fresh_host() -> SoftMCHost:
+    return SoftMCHost(DramChip(CONFIG, CounterBasedTrr()))
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_row_scout(benchmark):
+    def run():
+        host = fresh_host()
+        return RowScout(host).find_groups(ProfilingConfig(
+            bank=0, layout=RowGroupLayout.parse("R-R"), group_count=4,
+            validation_rounds=4))
+
+    groups = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(groups) == 4
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_refresh_calibration(benchmark):
+    host = fresh_host()
+    groups = RowScout(host).find_groups(ProfilingConfig(
+        bank=0, layout=RowGroupLayout.parse("R-R"), group_count=2,
+        validation_rounds=4))
+    retention = groups[0].retention_ps
+    rows = [(0, row) for group in groups for row in group.logical_rows]
+
+    def run():
+        calibrator = RefreshCalibrator(host, AllOnes())
+        cycle = calibrator.find_cycle(0, groups[0].logical_rows[0],
+                                      retention)
+        return calibrator.calibrate_rows(rows, retention, cycle)
+
+    schedule = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert schedule.cycle_refs == 1024
+    assert len(schedule.phase_windows) == 4
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_hammer_throughput(benchmark):
+    host = fresh_host()
+
+    def run():
+        # One refresh window's worth of custom-pattern traffic.
+        for _ in range(113):
+            host.hammer(0, [(2000, 36), (2002, 36)])
+            host.hammer(0, [(100 + 8 * i, 70) for i in range(16)])
+            host.refresh(9)
+        return host.ref_count
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

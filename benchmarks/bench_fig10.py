@@ -1,0 +1,34 @@
+"""Benchmark E-F10: regenerate Figure 10 (datawords by flip count) and
+the §7.4 ECC-bypass assessment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc import DecodeStatus, assess_ecc, dataword_flip_counts
+from repro.eval import QUICK, run_fig10
+
+MODULES = ["A0", "B8", "B13", "C12"]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_dataword_distribution(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_fig10(MODULES, QUICK), rounds=1, iterations=1)
+    record_artifact("fig10", result.render())
+    histograms = dict(result.per_module())
+    for module_id, histogram in histograms.items():
+        if not histogram:
+            continue
+        # Single-flip words dominate (the SECDED-correctable majority).
+        assert histogram[1] == max(histogram.values()), module_id
+    # Somewhere across the vulnerable modules, words with >= 3 flips
+    # appear — the SECDED/Chipkill-defeating tail of 7.4.
+    assert any(count >= 3 for histogram in histograms.values()
+               for count in histogram)
+    defeated = 0
+    for evaluation in result.evaluations:
+        assessment = assess_ecc(evaluation.result.flips_by_row)
+        defeated += assessment.secded_defeated
+        defeated += assessment.chipkill_defeated
+    assert defeated > 0

@@ -1,0 +1,36 @@
+"""Benchmark E-F9: regenerate Figure 9 (fraction of vulnerable rows).
+
+One representative module per TRR version; shape targets from §7.3:
+every module shows custom-pattern bit flips except the very strongest
+(C0-6 class), the weaker-HC modules approach 100%, and the
+high-threshold / B_TRR2 modules sit far lower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import QUICK, run_fig9
+
+MODULES = ["A0", "A13", "B0", "B9", "B13", "C0", "C7", "C9", "C12"]
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_vulnerable_rows(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_fig9(MODULES, QUICK), rounds=1, iterations=1)
+    record_artifact("fig9", result.render())
+    by_module = {evaluation.spec.module_id: evaluation
+                 for evaluation in result.evaluations}
+    # Highly vulnerable modules (paper: ~99.9%).
+    for module_id in ("B0", "B13", "C12"):
+        assert by_module[module_id].vulnerable_fraction > 0.8, module_id
+    # Vendor A modules are clearly vulnerable (paper: 73-99%).
+    for module_id in ("A0", "A13"):
+        assert by_module[module_id].vulnerable_fraction > 0.4, module_id
+    # The resistant classes stay far below the vulnerable ones (paper:
+    # C0-6 at 1-23%, B9-12 at ~37%; the simulation scale compresses
+    # these toward zero — see EXPERIMENTS.md).
+    for module_id in ("C0", "B9"):
+        assert (by_module[module_id].vulnerable_fraction
+                < by_module["B0"].vulnerable_fraction / 2), module_id

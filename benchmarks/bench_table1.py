@@ -1,0 +1,24 @@
+"""Benchmark E-T1: regenerate Table 1 rows (full U-TRR inference).
+
+One representative module per vendor keeps the benchmark tractable;
+``python -m repro.eval table1 --modules all`` regenerates the complete
+45-module table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import QUICK, run_table1
+
+MODULES = ["A0", "B0", "C12"]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_representative_modules(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table1(MODULES, QUICK), rounds=1, iterations=1)
+    record_artifact("table1", result.render())
+    for row in result.rows:
+        assert row.ground_truth_matches(), row.spec.module_id
+        assert row.evaluation.vulnerable_fraction > 0.5

@@ -1,0 +1,34 @@
+"""Benchmark fixtures: artifact output directory and run helper.
+
+Every benchmark regenerates one paper artifact (table/figure) at the
+documented evaluation scale, saves the rendered text under
+``benchmarks/results/`` and reports wall time through pytest-benchmark.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(results_dir):
+    """Persist a rendered artifact and echo a pointer to it."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[artifact saved: {path}]")
+        print(text)
+
+    return _record

@@ -1,0 +1,76 @@
+"""U-TRR-guided attack synthesis (§7.1): infer, craft, compare.
+
+End-to-end attacker story against one module:
+
+1. reverse-engineer the TRR mechanism through the side channel;
+2. synthesize the custom access pattern the recovered profile calls for;
+3. attack a set of victim rows with classic patterns and the custom one,
+   under a live refresh stream, and compare the damage.
+
+Run:  python examples/craft_attack.py [module-id]   (default B8)
+"""
+
+import dataclasses
+import sys
+
+from repro.attacks import (AttackExecutor, DoubleSidedPattern,
+                           ManySidedPattern, SingleSidedPattern,
+                           choose_pattern, default_context,
+                           victim_positions)
+from repro.core import TrrInference
+from repro.core.mapping_re import CouplingTopology
+from repro.eval import STANDARD
+from repro.softmc import SoftMCHost
+from repro.vendors import build_module, get_module
+
+
+def main() -> None:
+    module_id = sys.argv[1] if len(sys.argv) > 1 else "B8"
+    spec = get_module(module_id)
+    scale = STANDARD
+
+    # -- 1. reverse-engineer (separate chip instance: the profile is a
+    #       property of the module design, not of one powered-on chip) --
+    print(f"[1] reverse-engineering module {module_id} ...")
+    probe_chip = build_module(spec, rows_per_bank=8192, row_bits=1024,
+                              weak_cells_per_row_mean=2.0,
+                              vrt_fraction=0.0)
+    profile = TrrInference(SoftMCHost(probe_chip)).run()
+    print(f"    {profile.summary()}")
+
+    # -- 2. synthesize the custom pattern ------------------------------
+    pattern = choose_pattern(profile)
+    print(f"[2] synthesized pattern: {pattern.name}")
+
+    # -- 3. attack shoot-out under a live REF stream -------------------
+    host = scale.build_host(spec)
+    mapping = host._chip.mapping
+    period = profile.trr_ref_period
+    windows = max(2 * scale.scaled_cycle(spec) // period, 1)
+    paired = profile.coupling is CouplingTopology.PAIRED
+    victims = victim_positions(host.rows_per_bank, 8,
+                               profile.coupling, margin=64)
+    print(f"[3] attacking {len(victims)} victim rows for "
+          f"{windows} x {period}-REF windows each:")
+    for candidate in (SingleSidedPattern(), DoubleSidedPattern(),
+                      ManySidedPattern(sides=12), pattern):
+        total = 0
+        vulnerable = 0
+        for victim in victims:
+            fresh = scale.build_host(spec)
+            executor = AttackExecutor(fresh, fresh._chip.mapping)
+            context = default_context(0, victim, fresh._chip.mapping,
+                                      period, fresh.num_banks,
+                                      paired=paired)
+            flips = executor.run(candidate, context, windows) \
+                .flips_at(victim)
+            total += flips
+            vulnerable += flips > 0
+        print(f"    {candidate.name:>18}: {total:5d} flips, "
+              f"{vulnerable}/{len(victims)} victims hit")
+    print("\nThe custom pattern wins because it was built from the "
+          "recovered TRR internals — that is the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

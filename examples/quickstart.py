@@ -1,0 +1,81 @@
+"""Quickstart: the retention side channel in five minutes.
+
+Builds a simulated DDR4 module (Table 1's A0) with its hidden TRR
+mechanism, then demonstrates the two physical effects U-TRR is built on:
+
+1. a weak row decays when left unrefreshed past its retention time —
+   and survives when any refresh lands first (the side channel);
+2. double-sided hammering flips victim bits once refresh is disabled,
+   but the on-die TRR protects the victim when REF commands flow.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dram import AllOnes, HammerMode
+from repro.softmc import SoftMCHost
+from repro.units import ms
+from repro.vendors import build_module, get_module
+
+
+def find_weak_row(host, bank=0, max_ms=2000):
+    """Scan for a row that fails retention within max_ms (ground-truth
+    helper used here for brevity; Row Scout does this honestly)."""
+    chip = host._chip
+    for row in range(host.rows_per_bank):
+        retention = chip.true_retention_ps(bank, row, AllOnes())
+        if retention < ms(max_ms):
+            return row, retention
+    raise SystemExit("no weak row found; increase max_ms")
+
+
+def main() -> None:
+    spec = get_module("A0")
+    print(f"Module {spec.module_id}: {spec.density_gbit} Gbit, "
+          f"{spec.num_banks} banks, TRR version {spec.trr_version.value}")
+    host = SoftMCHost(build_module(spec, rows_per_bank=4096, row_bits=8192,
+                                   weak_cells_per_row_mean=1.0))
+
+    # --- 1. The retention side channel -------------------------------
+    row, retention = find_weak_row(host)
+    print(f"\nWeak row {row}: retains data for {retention / 1e9:.0f} ms")
+
+    host.write_row(0, row, AllOnes())
+    host.wait(retention + ms(1))
+    flips = host.read_row_mismatches(0, row)
+    print(f"unrefreshed past retention  -> {len(flips)} bit flip(s)")
+
+    host.write_row(0, row, AllOnes())
+    host.wait(retention // 2)
+    host.refresh(host._chip.config.refresh_cycle_refs)  # full refresh pass
+    host.wait(retention // 2 + ms(1))
+    flips = host.read_row_mismatches(0, row)
+    print(f"refreshed at half time      -> {len(flips)} bit flip(s)")
+    print("that difference is U-TRR's entire measurement primitive.")
+
+    # --- 2. RowHammer vs the hidden TRR --------------------------------
+    victim = 2000
+    threshold = host._chip.true_min_hammer_threshold(0, victim, AllOnes())
+    hammers = int(threshold)  # per side; ~2x the flip threshold combined
+    print(f"\nVictim row {victim}: weakest cell flips at "
+          f"~{threshold:.0f} effective hammers")
+
+    host.write_row(0, victim, AllOnes())
+    host.hammer(0, [(victim - 1, hammers), (victim + 1, hammers)],
+                HammerMode.INTERLEAVED)
+    print(f"refresh disabled: double-sided {hammers} hammers/side -> "
+          f"{len(host.read_row_mismatches(0, victim))} flips")
+
+    host.write_row(0, victim, AllOnes())
+    for _ in range(40):  # hammer in bursts with REFs between: TRR acts
+        host.hammer(0, [(victim - 1, hammers // 40),
+                        (victim + 1, hammers // 40)],
+                    HammerMode.INTERLEAVED)
+        host.refresh(9)
+    print(f"REFs flowing: same total hammering  -> "
+          f"{len(host.read_row_mismatches(0, victim))} flips "
+          "(TRR refreshed the victim)")
+    print("\nNext: examples/reverse_engineer.py uncovers HOW it did that.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Reverse-engineer a module's TRR mechanism through the side channel.
+
+Walks the full §6 methodology against a module of your choice — the
+tooling only ever issues DDR commands and reads data back:
+
+  stage 0  row-mapping + coupling discovery (§5.3)
+  stage 1  Row Scout finds retention-profiled row groups (§4)
+  stage 2  regular-refresh cycle + per-row phases (Obs A8)
+  stage 3  TRR-to-REF stride (Obs A1/B1/C1)
+  stage 4  refreshed neighbor distances (Obs A2/B2/C3)
+  stage 5  persistence vs deferral (Obs A7/B5/C1)
+  stage 6  counter vs sampler detection (Obs A3/B3)
+  stage 7  aggressor capacity (Obs A4/B4)
+  stage 8  per-bank vs shared state (Obs A4/B4)
+
+Run:  python examples/reverse_engineer.py [module-id]   (default A0)
+"""
+
+import sys
+import time
+
+from repro.core import TrrInference
+from repro.softmc import SoftMCHost
+from repro.vendors import build_module, get_module
+
+
+def main() -> None:
+    module_id = sys.argv[1] if len(sys.argv) > 1 else "A0"
+    spec = get_module(module_id)
+    print(f"Target: module {spec.module_id} "
+          f"(implants {spec.trr_version.value} — the tools don't know "
+          "that)")
+    chip = build_module(spec, rows_per_bank=8192, row_bits=1024,
+                        weak_cells_per_row_mean=2.0, vrt_fraction=0.0)
+    inference = TrrInference(SoftMCHost(chip))
+
+    started = time.time()
+    print("\n[0] discovering row mapping & coupling ...")
+    discovery = inference.mapping_discovery
+    print(f"    scheme={discovery.scheme} "
+          f"coupling={discovery.coupling.value}")
+
+    print("[1-2] profiling rows & calibrating regular refresh ...")
+    cycle = inference.regular_refresh_cycle
+    print(f"    regular refresh pass every {cycle} REFs "
+          f"(nominal would be ~{chip.config.rows_per_bank})")
+
+    print("[3] measuring the TRR-to-REF stride ...")
+    period, detail = inference.find_trr_period()
+    print(f"    TRR-capable REF every {period} REFs "
+          f"(hit indices {detail['hits'][:5]} ...)")
+
+    print("[4] which neighbors does a TRR refresh cover?")
+    distances, sides = inference.find_refreshed_neighbors(period)
+    print(f"    refreshed victim distances: {distances} "
+          f"(sides: {sides['sides']})")
+
+    print("[5] does detection state persist without activity?")
+    persists, _ = inference.test_state_persistence(period)
+    print(f"    persists={persists} "
+          f"({'counter/sampler-like' if persists else 'deferred window'})")
+
+    print("[6] counter vs sampler?")
+    detection, kind_detail = inference.classify_detection(period, persists)
+    print(f"    detection={detection} ({kind_detail})")
+
+    print("[7] aggressor capacity ...")
+    capacity, _ = inference.estimate_capacity(period, detection)
+    print(f"    capacity={capacity}")
+
+    print("[8] per-bank or chip-shared state?")
+    per_bank, bank_detail = inference.test_per_bank(period)
+    print(f"    per_bank={per_bank} ({bank_detail})")
+
+    print("[9] extension probes (beyond the paper) ...")
+    if detection == "counter":
+        policy, _ = inference.test_eviction_policy()
+        reset, reset_detail = inference.test_counter_reset(period)
+        print(f"    eviction policy: {policy}; "
+              f"counter reset on detection: {reset} ({reset_detail})")
+    elif detection == "sampling":
+        sample_period, _ = inference.measure_sample_period(period)
+        print(f"    sampler period estimate: ~{sample_period} ACTs")
+    else:
+        horizon, _ = inference.measure_detection_horizon(period)
+        print(f"    detection horizon (min diversion burst): "
+              f"~{horizon} ACTs")
+
+    truth = chip.trr.ground_truth
+    print(f"\nRecovered profile vs implanted ground truth "
+          f"({time.time() - started:.0f}s):")
+    print(f"    kind:      {detection:>10}  (truth: {truth.kind})")
+    print(f"    period:    {period:>10}  (truth: {truth.trr_ref_period})")
+    print(f"    capacity:  {str(capacity):>10}  "
+          f"(truth: {truth.aggressor_capacity})")
+    print(f"    per-bank:  {str(per_bank):>10}  (truth: {truth.per_bank})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Rig workflow: command-level control, measurement reuse, replay.
+
+The workflow a lab runs when a new DIMM lands on the rig:
+
+1. drive a few raw DDR command sequences over the :class:`DdrBus` to
+   sanity-check the module (timing-rule enforcement included);
+2. profile row groups with Row Scout and calibrate the regular-refresh
+   schedule — the expensive, once-per-module part;
+3. persist the measurement bundle to JSON;
+4. reload it (in a later "session") and run a TRR Analyzer experiment
+   against the same chip without re-profiling.
+
+Run:  python examples/rig_workflow.py
+"""
+
+import tempfile
+
+from repro.core import (AggressorHammer, ExperimentConfig, ProfilingConfig,
+                        RefreshCalibrator, RowGroupLayout, RowScout,
+                        TrrAnalyzer, load_measurement, save_measurement)
+from repro.dram import AllOnes
+from repro.softmc import DdrBus, SoftMCHost
+from repro.vendors import build_module, get_module
+
+
+def main() -> None:
+    spec = get_module("A6")
+    chip = build_module(spec, rows_per_bank=4096, row_bits=1024,
+                        weak_cells_per_row_mean=2.0, vrt_fraction=0.0)
+
+    # -- 1. raw command-level smoke over the bus -----------------------
+    bus = DdrBus(chip)
+    bus.activate(0, 42)
+    bus.write(0, AllOnes())
+    bus.precharge(0)
+    for _ in range(32):
+        bus.hammer_once(0, 41)
+    bus.refresh()
+    print(f"[1] bus smoke: {len(bus.trace)} commands issued, e.g. "
+          f"{bus.trace[0]} ... {bus.trace[-1]}")
+
+    # -- 2. profile + calibrate ----------------------------------------
+    host = SoftMCHost(chip)
+    scout = RowScout(host)
+    groups = scout.find_groups(ProfilingConfig(
+        bank=0, layout=RowGroupLayout.parse("R-R"), group_count=2,
+        validation_rounds=8))
+    retention = groups[0].retention_ps
+    print(f"[2] Row Scout: {len(groups)} 'R-R' groups at "
+          f"T={retention / 1e9:.0f} ms "
+          f"(bases {[g.base_physical for g in groups]})")
+    calibrator = RefreshCalibrator(host, AllOnes())
+    cycle = calibrator.find_cycle(0, groups[0].logical_rows[0], retention)
+    schedule = calibrator.calibrate_rows(
+        [(0, row) for group in groups for row in group.logical_rows],
+        retention, cycle)
+    print(f"    regular refresh cycle: {cycle} REFs "
+          f"(vendor A's shortened pass)")
+
+    # -- 3. persist ------------------------------------------------------
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as f:
+        path = f.name
+    save_measurement(path, groups, schedule)
+    print(f"[3] measurement bundle saved to {path}")
+
+    # -- 4. reload and experiment ----------------------------------------
+    groups2, schedule2, _ = load_measurement(path)
+    analyzer = TrrAnalyzer(host, groups2, schedule2)
+    aggressor = AggressorHammer(
+        bank=0, logical_row=groups2[0].gap_logical_rows(
+            analyzer._mapping)[0], count=5000)
+    result = analyzer.run(ExperimentConfig(aggressors=(aggressor,),
+                                           refs_per_round=20))
+    protected = result.trr_refreshed_physical(0)
+    print(f"[4] replayed TRR-A experiment: TRR refreshed physical rows "
+          f"{sorted(protected)} (the hammered group's neighbors)")
+    assert groups2[0].physical_rows[0] in protected
+
+
+if __name__ == "__main__":
+    main()

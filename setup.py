@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs fail; this shim lets ``pip install -e .
+--no-use-pep517 --no-build-isolation`` (and plain ``setup.py develop``)
+work everywhere.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""U-TRR: uncovering in-DRAM RowHammer protection mechanisms.
+
+A reproduction of Hassan et al., MICRO 2021.  See README.md for the
+architecture overview and DESIGN.md for the system inventory.
+
+Public surface
+--------------
+* :mod:`repro.dram` — the simulated DDR4 device (retention, RowHammer,
+  refresh physics).
+* :mod:`repro.trr` — the in-DRAM TRR mechanisms under study.
+* :mod:`repro.vendors` — the 45 Table 1 modules as buildable specs.
+* :mod:`repro.softmc` — the SoftMC-style command-level host interface.
+* :mod:`repro.core` — **the paper's contribution**: Row Scout, TRR
+  Analyzer, and the automated reverse-engineering pipeline.
+* :mod:`repro.attacks` — classic baselines and the §7.1 custom patterns.
+* :mod:`repro.ecc` — SECDED / Reed-Solomon / Chipkill (§7.4).
+* :mod:`repro.eval` — regenerates Table 1 and Figures 8/9/10
+  (``python -m repro.eval <artifact>``).
+"""
+
+__version__ = "1.0.0"
+
+from . import attacks, core, dram, ecc, eval, softmc, trr, vendors
+from .errors import (AttackConfigError, ConfigError, DecodingError,
+                     ExperimentError, MappingError, ProfilingError,
+                     ProtocolError, ReproError, TimingViolationError)
+
+__all__ = [
+    "AttackConfigError",
+    "ConfigError",
+    "DecodingError",
+    "ExperimentError",
+    "MappingError",
+    "ProfilingError",
+    "ProtocolError",
+    "ReproError",
+    "TimingViolationError",
+    "attacks",
+    "core",
+    "dram",
+    "ecc",
+    "eval",
+    "softmc",
+    "trr",
+    "vendors",
+]

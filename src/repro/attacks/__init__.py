@@ -1,0 +1,37 @@
+"""RowHammer access patterns: classic baselines and §7.1 custom attacks."""
+
+from .base import AccessPattern, AttackContext, default_context
+from .classic import DoubleSidedPattern, ManySidedPattern, SingleSidedPattern
+from .executor import AttackExecutor, AttackResult
+from .session import AttackSession
+from .sweep import (HammerSweepResult, VulnerabilityResult, choose_pattern,
+                    measure_hc_first, run_hammer_sweep,
+                    run_vulnerability_sweep, victim_positions)
+from .vendor_a import VendorAPattern
+from .vendor_b import (PhaseLockedSamplerPattern, VendorBPattern,
+                       calibrate_phase_offset)
+from .vendor_c import VendorCPattern
+
+__all__ = [
+    "AccessPattern",
+    "AttackContext",
+    "AttackExecutor",
+    "AttackResult",
+    "AttackSession",
+    "DoubleSidedPattern",
+    "HammerSweepResult",
+    "ManySidedPattern",
+    "SingleSidedPattern",
+    "VendorAPattern",
+    "PhaseLockedSamplerPattern",
+    "VendorBPattern",
+    "calibrate_phase_offset",
+    "VendorCPattern",
+    "VulnerabilityResult",
+    "choose_pattern",
+    "default_context",
+    "measure_hc_first",
+    "run_hammer_sweep",
+    "run_vulnerability_sweep",
+    "victim_positions",
+]

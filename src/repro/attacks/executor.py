@@ -1,0 +1,83 @@
+"""Attack executor: run a pattern for many windows, measure the damage.
+
+Mirrors §7.2's setup: the SoftMC program executes a custom access
+pattern for a fixed stretch of REF intervals while REF commands keep
+flowing at the default rate; afterwards the victim rows are read back
+and their bit flips counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dram.mapping import RowMapping
+from ..dram.patterns import AllOnes, DataPattern, inverted
+from ..errors import AttackConfigError
+from ..softmc import SoftMCHost
+from .base import AccessPattern, AttackContext
+from .session import AttackSession
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one pattern execution."""
+
+    pattern: str
+    windows: int
+    refs_issued: int
+    acts_issued: int
+    #: physical victim row -> flipped bit positions.
+    victim_flips: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def total_flips(self) -> int:
+        return sum(len(flips) for flips in self.victim_flips.values())
+
+    def flips_at(self, physical_row: int) -> int:
+        return len(self.victim_flips.get(physical_row, []))
+
+
+class AttackExecutor:
+    """Runs access patterns against a module through the host interface."""
+
+    def __init__(self, host: SoftMCHost, mapping: RowMapping,
+                 victim_pattern: DataPattern | None = None) -> None:
+        self._host = host
+        self._mapping = mapping
+        self._victim_pattern = victim_pattern or AllOnes()
+
+    def run(self, pattern: AccessPattern, context: AttackContext,
+            windows: int,
+            extra_victims: tuple[int, ...] = ()) -> AttackResult:
+        """Execute *windows* TRR-period windows of *pattern*.
+
+        Victim rows (the context victim plus *extra_victims*, physical)
+        are initialized with the victim data pattern; aggressor rows with
+        its complement (RowHammer flips are data-dependent, §5.2).
+        """
+        if windows < 1:
+            raise AttackConfigError("windows must be >= 1")
+        host = self._host
+        victims = (context.victim_physical, *extra_victims)
+        aggressor_data = inverted(self._victim_pattern, host.row_bits)
+        for row in pattern.aggressor_physical(context):
+            host.write_row(context.bank, context.mapping.to_logical(row),
+                           aggressor_data)
+        for row in victims:
+            host.write_row(context.bank, context.mapping.to_logical(row),
+                           self._victim_pattern)
+
+        session = AttackSession(host, context.trr_period)
+        session.align_to_period()
+        for _ in range(windows):
+            pattern.run_window(session, context)
+
+        flips = {
+            row: host.read_row_mismatches(context.bank,
+                                          context.mapping.to_logical(row))
+            for row in victims
+        }
+        return AttackResult(pattern=pattern.name, windows=windows,
+                            refs_issued=session.refs_issued,
+                            acts_issued=session.acts_issued,
+                            victim_flips=flips)

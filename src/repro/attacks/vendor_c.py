@@ -1,0 +1,84 @@
+"""Custom pattern against vendor C's window-based TRR (§7.1).
+
+Strategy recovered via U-TRR: aggressor candidates come only from the
+first ~2K activations (per bank) after a TRR-induced refresh, with
+earlier activations favored (Obs C2).  So, immediately after a
+TRR-capable REF, burn a large burst of dummy activations — they fill the
+detection window and own the candidate slot — and only then hammer the
+aggressors until the next TRR-capable REF.  The aggressor activations
+fall entirely outside the detection window and are never selected.
+
+On the pair-isolated modules (C0-8) only odd-addressed aggressors
+disturb their (even) pair row, so the double-sided pair around an odd
+victim is even-addressed and useless; the pattern aims at even victims
+whose aggressors are odd (§7.3's "bit flips only when hammering two
+aggressor rows that have odd-numbered addresses").
+"""
+
+from __future__ import annotations
+
+from ..dram import HammerMode
+from ..errors import AttackConfigError
+from .base import AccessPattern, AttackContext
+from .session import AttackSession
+
+
+class VendorCPattern(AccessPattern):
+    """Dummy burst right after the TRR-capable REF, then aggressors.
+
+    The dummy burst consumes everything the window's activation budget
+    allows beyond the configured aggressor hammers: the detection
+    window's early-position weight then belongs almost entirely to the
+    dummies, and the late aggressor activations are (for the longer TRR
+    periods, entirely) outside the detection window.
+    """
+
+    name = "vendor-c-custom"
+
+    def __init__(self, aggressor_hammers: int | None = None,
+                 dummy_fraction: float = 0.8,
+                 dummy_count: int = 4) -> None:
+        if aggressor_hammers is not None and aggressor_hammers < 1:
+            raise AttackConfigError("aggressor_hammers must be >= 1")
+        if not 0 < dummy_fraction < 1:
+            raise AttackConfigError("dummy_fraction must be in (0, 1)")
+        if dummy_count < 1:
+            raise AttackConfigError("dummy_count must be >= 1")
+        #: Hammers per aggressor per TRR-period window (issued last).
+        #: None = adaptive: the dummy burst takes ``dummy_fraction`` of
+        #: the window's activation budget, aggressors split the rest.
+        self.aggressor_hammers = aggressor_hammers
+        self.dummy_fraction = dummy_fraction
+        self.dummy_count = dummy_count
+
+    def aggressor_physical(self, context: AttackContext) -> tuple[int, ...]:
+        return context.aggressors()
+
+    def run_window(self, session: AttackSession,
+                   context: AttackContext) -> None:
+        if not context.dummy_rows:
+            raise AttackConfigError("context provides no dummy rows")
+        timing = session._host.timing
+        interval_acts = (timing.trefi_ps - timing.trfc_ps) // timing.trc_ps
+        window_acts = context.trr_period * interval_acts
+        if self.aggressor_hammers is None:
+            per_aggressor = int(window_acts * (1 - self.dummy_fraction)) // 2
+        else:
+            per_aggressor = self.aggressor_hammers
+        burst = window_acts - 2 * per_aggressor
+        if burst < 1:
+            raise AttackConfigError(
+                f"aggressor hammers {per_aggressor} leave no budget for "
+                f"the dummy burst in a {window_acts}-act window")
+        dummies = context.dummy_logical_rows()[:self.dummy_count]
+        share = burst // len(dummies)
+        if share > 0:
+            session.hammer(context.bank, [(row, share) for row in dummies],
+                           HammerMode.CASCADED)
+
+        rows = context.aggressors()
+        per_row = 2 * per_aggressor // len(rows)
+        session.hammer(context.bank,
+                       [(context.logical(row), per_row) for row in rows],
+                       HammerMode.INTERLEAVED)
+        session.fill_window()

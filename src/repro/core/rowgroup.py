@@ -1,0 +1,116 @@
+"""Row-group layouts: the paper's ``R-R`` notation (§4.1).
+
+A row group is a set of retention-profiled rows at fixed relative
+*physical* positions.  The paper writes layouts as strings where ``R`` is
+a profiled row and ``-`` is a one-row gap (typically where an aggressor
+will be placed): ``R-R`` is two profiled rows two apart with a gap
+between them; ``RRR-RRR`` surrounds one gap with three profiled rows on
+each side.
+
+Layout offsets are physical.  Row Scout works in logical addresses at the
+host interface and uses the (reverse-engineered) mapping to place
+layouts in physical space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.mapping import RowMapping
+from ..dram.patterns import DataPattern
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RowGroupLayout:
+    """Relative physical offsets of profiled rows and gaps."""
+
+    notation: str
+    profiled_offsets: tuple[int, ...]
+    gap_offsets: tuple[int, ...]
+
+    @classmethod
+    def parse(cls, notation: str) -> "RowGroupLayout":
+        """Parse an ``R``/``-`` layout string.
+
+        >>> RowGroupLayout.parse("R-R").profiled_offsets
+        (0, 2)
+        >>> RowGroupLayout.parse("R-R").gap_offsets
+        (1,)
+        """
+        if not notation:
+            raise ConfigError("layout notation must not be empty")
+        profiled = []
+        gaps = []
+        for offset, char in enumerate(notation):
+            if char == "R":
+                profiled.append(offset)
+            elif char == "-":
+                gaps.append(offset)
+            else:
+                raise ConfigError(
+                    f"layout may only contain 'R' and '-', got {char!r}")
+        if not profiled:
+            raise ConfigError("layout needs at least one profiled row")
+        if notation[0] != "R" or notation[-1] != "R":
+            raise ConfigError("layout must start and end with 'R'")
+        return cls(notation=notation, profiled_offsets=tuple(profiled),
+                   gap_offsets=tuple(gaps))
+
+    @property
+    def span(self) -> int:
+        """Total physical rows the layout occupies."""
+        return len(self.notation)
+
+
+@dataclass(frozen=True)
+class RowGroup:
+    """A placed row group: profiled rows with a common retention time.
+
+    Offsets anchor at ``base_physical``; each profiled row is recorded as
+    ``(logical, physical)`` so experiments can hammer by logical address
+    while reasoning about physical adjacency.
+    """
+
+    bank: int
+    base_physical: int
+    layout: RowGroupLayout
+    #: Parallel to layout.profiled_offsets.
+    logical_rows: tuple[int, ...]
+    #: The common (bucketed) retention time: every profiled row retains
+    #: its data strictly longer than ``retention_lo_ps`` and fails by
+    #: ``retention_ps``.
+    retention_ps: int
+    retention_lo_ps: int
+    pattern: DataPattern
+
+    def __post_init__(self) -> None:
+        if len(self.logical_rows) != len(self.layout.profiled_offsets):
+            raise ConfigError("logical rows do not match layout")
+        if not 0 < self.retention_lo_ps < self.retention_ps:
+            raise ConfigError("invalid retention bucket")
+
+    @property
+    def physical_rows(self) -> tuple[int, ...]:
+        return tuple(self.base_physical + off
+                     for off in self.layout.profiled_offsets)
+
+    @property
+    def gap_physical_rows(self) -> tuple[int, ...]:
+        """Physical rows at the layout's gaps (aggressor placements)."""
+        return tuple(self.base_physical + off
+                     for off in self.layout.gap_offsets)
+
+    def gap_logical_rows(self, mapping: RowMapping) -> tuple[int, ...]:
+        """Logical addresses of the gap rows, via the discovered mapping."""
+        return tuple(mapping.to_logical(p) for p in self.gap_physical_rows)
+
+    def row_pairs(self) -> list[tuple[int, int]]:
+        """``(logical, physical)`` for each profiled row."""
+        return list(zip(self.logical_rows, self.physical_rows))
+
+
+#: Layouts used throughout the paper's experiments.
+R_GAP_R = RowGroupLayout.parse("R-R")
+SINGLE_R = RowGroupLayout.parse("R")
+R_GAP3_R = RowGroupLayout.parse("R---R")

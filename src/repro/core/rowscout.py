@@ -1,0 +1,229 @@
+"""Row Scout (RS): the retention-time profiler (§4).
+
+RS finds row groups whose retention behaviour makes them usable as
+TRR Analyzer victims:
+
+* every profiled row fails **by** the bucket time T but **retains past**
+  the bucket's lower edge T_lo (so a refresh at T/2 always saves it —
+  footnote 4 requires T_lo >= T/2);
+* rows within a group share the bucket and sit at the layout's relative
+  *physical* positions (``R-R`` etc.), placed via the reverse-engineered
+  row mapping;
+* retention is validated over many write/wait/read rounds to reject
+  Variable Retention Time rows (§4.1).
+
+The scan loop follows Fig. 6: scan the row range at T, form candidate
+groups from newly failing rows, escalate T when too few groups pass
+validation.  Escalation is geometric (T *= growth) so the bucket
+(T_prev, T] always satisfies T_prev >= T/2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dram.mapping import DirectMapping, RowMapping
+from ..dram.patterns import AllOnes, DataPattern
+from ..errors import ConfigError, ProfilingError
+from ..softmc import SoftMCHost
+from ..units import ms
+from .rowgroup import RowGroup, RowGroupLayout
+
+
+@dataclass(frozen=True)
+class ProfilingConfig:
+    """What Row Scout should find (Fig. 3 "profiling configuration")."""
+
+    bank: int
+    layout: RowGroupLayout
+    group_count: int
+    row_range: tuple[int, int] | None = None  #: physical rows [start, end)
+    pattern: DataPattern = field(default_factory=AllOnes)
+    initial_t_ms: float = 100.0
+    #: Geometric bucket growth; must stay <= 2 so T_lo >= T/2.
+    growth: float = 1.5
+    max_t_ms: float = 8000.0
+    #: Write/wait/read rounds per candidate row (paper: 1000).
+    validation_rounds: int = 40
+    #: Minimum physical distance between two groups' spans, so one
+    #: group's aggressors (and their TRR-refresh blast radius) cannot
+    #: touch another group's profiled rows.
+    group_spacing: int = 8
+
+    def __post_init__(self) -> None:
+        if self.group_count < 1:
+            raise ConfigError("group_count must be >= 1")
+        if not 1.0 < self.growth <= 2.0:
+            raise ConfigError("growth must be in (1, 2] (footnote 4)")
+        if self.initial_t_ms <= 0 or self.max_t_ms <= self.initial_t_ms:
+            raise ConfigError("need 0 < initial_t_ms < max_t_ms")
+        if self.validation_rounds < 1:
+            raise ConfigError("validation_rounds must be >= 1")
+        if self.group_spacing < 0:
+            raise ConfigError("group_spacing must be >= 0")
+
+
+class RowScout:
+    """Finds retention-profiled row groups through the side channel only."""
+
+    def __init__(self, host: SoftMCHost,
+                 mapping: RowMapping | None = None) -> None:
+        self._host = host
+        #: Logical<->physical mapping discovered by §5.3 reverse
+        #: engineering (identity if the module needs none).
+        self._mapping = mapping or DirectMapping(host.rows_per_bank)
+
+    # -- scan pass -----------------------------------------------------------
+
+    def _scan_failing_rows(self, bank: int, physical_rows: list[int],
+                           pattern: DataPattern, t_ps: int) -> set[int]:
+        """One Fig. 6 step-1 pass: which physical rows fail within t_ps?"""
+        host = self._host
+        logical = [self._mapping.to_logical(p) for p in physical_rows]
+        for row in logical:
+            host.write_row(bank, row, pattern)
+        host.wait(t_ps)
+        failing = set()
+        for physical, row in zip(physical_rows, logical):
+            if host.read_row_mismatches(bank, row):
+                failing.add(physical)
+        return failing
+
+    def _validate_row(self, bank: int, physical: int, pattern: DataPattern,
+                      t_lo_ps: int, t_ps: int, rounds: int) -> bool:
+        """Fig. 6 step-4: the row must fail at T and retain at T_lo, every
+        round (rejects VRT rows)."""
+        host = self._host
+        logical = self._mapping.to_logical(physical)
+        for _ in range(rounds):
+            host.write_row(bank, logical, pattern)
+            host.wait(t_ps)
+            if not host.read_row_mismatches(bank, logical):
+                return False
+            host.write_row(bank, logical, pattern)
+            host.wait(t_lo_ps)
+            if host.read_row_mismatches(bank, logical):
+                return False
+        return True
+
+    @staticmethod
+    def _candidate_bases(layout: RowGroupLayout, bucket_rows: set[int],
+                         range_lo: int, range_hi: int) -> list[int]:
+        """Base rows where every layout 'R' lands on a bucket row."""
+        bases = []
+        for base in sorted(bucket_rows):
+            if base + layout.span > range_hi or base < range_lo:
+                continue
+            if all(base + off in bucket_rows
+                   for off in layout.profiled_offsets):
+                bases.append(base)
+        return bases
+
+    # -- main loop (Fig. 6) ---------------------------------------------------
+
+    def find_groups(self, config: ProfilingConfig) -> list[RowGroup]:
+        """Run the Fig. 6 loop until ``group_count`` validated groups exist.
+
+        All returned groups share one retention bucket (a TRR Analyzer
+        experiment waits a single global time, so mixed buckets would
+        break footnote 4's timing constraints).
+        """
+        return self.find_groups_joint([config])[0]
+
+    def find_groups_joint(self, configs: list[ProfilingConfig]
+                          ) -> list[list[RowGroup]]:
+        """Satisfy several profiling configurations in one shared bucket.
+
+        Needed by experiments that compare TRR behaviour across banks:
+        the victim rows of all banks must share one retention time so a
+        single TRR-A experiment can cover them.  All configs must agree
+        on pattern and escalation parameters.
+        """
+        if not configs:
+            raise ConfigError("need at least one profiling configuration")
+        reference = configs[0]
+        for config in configs[1:]:
+            same = (config.pattern == reference.pattern
+                    and config.initial_t_ms == reference.initial_t_ms
+                    and config.growth == reference.growth
+                    and config.max_t_ms == reference.max_t_ms)
+            if not same:
+                raise ConfigError(
+                    "joint profiling requires identical pattern and "
+                    "escalation parameters across configurations")
+
+        host = self._host
+        ranges = []
+        for config in configs:
+            range_lo, range_hi = config.row_range or (0, host.rows_per_bank)
+            if not 0 <= range_lo < range_hi <= host.rows_per_bank:
+                raise ConfigError(f"bad row range [{range_lo}, {range_hi})")
+            ranges.append((range_lo, range_hi))
+
+        t_lo_ps = 0
+        t_ms_value = reference.initial_t_ms
+        already_failing: list[set[int]] = [set() for _ in configs]
+        first_pass = True
+        while t_ms_value <= reference.max_t_ms:
+            t_ps = ms(t_ms_value)
+            failing = [
+                self._scan_failing_rows(
+                    config.bank, list(range(lo, hi)), config.pattern, t_ps)
+                for config, (lo, hi) in zip(configs, ranges)
+            ]
+            if first_pass:
+                # Rows failing at the *initial* T have unknown (possibly
+                # tiny) retention; footnote 4 excludes them.
+                already_failing = failing
+                first_pass = False
+            else:
+                results = []
+                for config, fails, previous, (lo, hi) in zip(
+                        configs, failing, already_failing, ranges):
+                    bucket = fails - previous
+                    results.append(self._form_groups(
+                        config, bucket, t_lo_ps, t_ps, lo, hi))
+                if all(len(groups) >= config.group_count
+                       for groups, config in zip(results, configs)):
+                    return [groups[:config.group_count]
+                            for groups, config in zip(results, configs)]
+                already_failing = failing
+            t_lo_ps = t_ps
+            t_ms_value *= reference.growth
+        raise ProfilingError(
+            "could not satisfy all profiling configurations in one bucket "
+            f"up to T={reference.max_t_ms} ms: "
+            + ", ".join(f"bank {c.bank} needs {c.group_count} x "
+                        f"'{c.layout.notation}'" for c in configs))
+
+    def _form_groups(self, config: ProfilingConfig, bucket: set[int],
+                     t_lo_ps: int, t_ps: int, range_lo: int,
+                     range_hi: int) -> list[RowGroup]:
+        groups: list[RowGroup] = []
+        used: set[int] = set()
+        for base in self._candidate_bases(config.layout, bucket,
+                                          range_lo, range_hi):
+            span_rows = range(base - config.group_spacing,
+                              base + config.layout.span
+                              + config.group_spacing)
+            if any(row in used for row in span_rows):
+                continue
+            rows = [base + off for off in config.layout.profiled_offsets]
+            if all(self._validate_row(config.bank, row, config.pattern,
+                                      t_lo_ps, t_ps,
+                                      config.validation_rounds)
+                   for row in rows):
+                groups.append(RowGroup(
+                    bank=config.bank,
+                    base_physical=base,
+                    layout=config.layout,
+                    logical_rows=tuple(self._mapping.to_logical(r)
+                                       for r in rows),
+                    retention_ps=t_ps,
+                    retention_lo_ps=t_lo_ps,
+                    pattern=config.pattern,
+                ))
+                used.update(span_rows)
+                if len(groups) >= config.group_count:
+                    break
+        return groups

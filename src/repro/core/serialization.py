@@ -1,0 +1,151 @@
+"""JSON persistence for U-TRR measurement artifacts.
+
+Row Scout profiles, refresh schedules and inferred TRR profiles are
+expensive to produce (minutes of rig time on hardware); real workflows
+measure once per module and reuse.  These helpers round-trip the three
+artifact types through plain JSON-compatible dictionaries.
+
+Data patterns serialize by name for the built-in patterns (the only ones
+profiling uses); schedules and profiles are pure data.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..dram.patterns import (AllOnes, AllZeros, ByteFill, Checkerboard,
+                             DataPattern)
+from ..errors import ConfigError
+from .inference import InferredTrrProfile
+from .mapping_re import CouplingTopology
+from .refclassifier import RefreshSchedule
+from .rowgroup import RowGroup, RowGroupLayout
+
+_SIMPLE_PATTERNS = {"all-ones": AllOnes, "all-zeros": AllZeros}
+
+
+def pattern_to_dict(pattern: DataPattern) -> dict:
+    if isinstance(pattern, Checkerboard):
+        return {"name": "checkerboard", "phase": pattern.phase}
+    if isinstance(pattern, ByteFill):
+        return {"name": "byte-fill", "value": pattern.value}
+    if pattern.name in _SIMPLE_PATTERNS:
+        return {"name": pattern.name}
+    raise ConfigError(
+        f"pattern {pattern!r} is not serializable (custom patterns carry "
+        "raw data; persist those separately)")
+
+
+def pattern_from_dict(payload: dict) -> DataPattern:
+    name = payload.get("name")
+    if name in _SIMPLE_PATTERNS:
+        return _SIMPLE_PATTERNS[name]()
+    if name == "checkerboard":
+        return Checkerboard(payload["phase"])
+    if name == "byte-fill":
+        return ByteFill(payload["value"])
+    raise ConfigError(f"unknown serialized pattern {name!r}")
+
+
+def row_group_to_dict(group: RowGroup) -> dict:
+    return {
+        "bank": group.bank,
+        "base_physical": group.base_physical,
+        "layout": group.layout.notation,
+        "logical_rows": list(group.logical_rows),
+        "retention_ps": group.retention_ps,
+        "retention_lo_ps": group.retention_lo_ps,
+        "pattern": pattern_to_dict(group.pattern),
+    }
+
+
+def row_group_from_dict(payload: dict) -> RowGroup:
+    return RowGroup(
+        bank=payload["bank"],
+        base_physical=payload["base_physical"],
+        layout=RowGroupLayout.parse(payload["layout"]),
+        logical_rows=tuple(payload["logical_rows"]),
+        retention_ps=payload["retention_ps"],
+        retention_lo_ps=payload["retention_lo_ps"],
+        pattern=pattern_from_dict(payload["pattern"]),
+    )
+
+
+def schedule_to_dict(schedule: RefreshSchedule) -> dict:
+    return {
+        "cycle_refs": schedule.cycle_refs,
+        "slack": schedule.slack,
+        "phase_windows": [
+            {"bank": bank, "row": row, "start": start, "width": width}
+            for (bank, row), (start, width)
+            in sorted(schedule.phase_windows.items())
+        ],
+    }
+
+
+def schedule_from_dict(payload: dict) -> RefreshSchedule:
+    schedule = RefreshSchedule(cycle_refs=payload["cycle_refs"],
+                               slack=payload.get("slack", 2))
+    for entry in payload["phase_windows"]:
+        schedule.phase_windows[(entry["bank"], entry["row"])] = (
+            entry["start"], entry["width"])
+    return schedule
+
+
+def profile_to_dict(profile: InferredTrrProfile) -> dict:
+    return {
+        "mapping_scheme": profile.mapping_scheme,
+        "coupling": profile.coupling.value,
+        "regular_refresh_cycle": profile.regular_refresh_cycle,
+        "trr_ref_period": profile.trr_ref_period,
+        "detection": profile.detection,
+        "neighbor_distances_refreshed":
+            list(profile.neighbor_distances_refreshed),
+        "neighbors_refreshed": profile.neighbors_refreshed,
+        "persists_without_activity": profile.persists_without_activity,
+        "aggressor_capacity": profile.aggressor_capacity,
+        "per_bank": profile.per_bank,
+        "ref_independent": profile.ref_independent,
+    }
+
+
+def profile_from_dict(payload: dict) -> InferredTrrProfile:
+    return InferredTrrProfile(
+        mapping_scheme=payload["mapping_scheme"],
+        coupling=CouplingTopology(payload["coupling"]),
+        regular_refresh_cycle=payload["regular_refresh_cycle"],
+        trr_ref_period=payload["trr_ref_period"],
+        detection=payload["detection"],
+        neighbor_distances_refreshed=tuple(
+            payload["neighbor_distances_refreshed"]),
+        neighbors_refreshed=payload["neighbors_refreshed"],
+        persists_without_activity=payload["persists_without_activity"],
+        aggressor_capacity=payload["aggressor_capacity"],
+        per_bank=payload["per_bank"],
+        ref_independent=payload.get("ref_independent", False),
+    )
+
+
+def save_measurement(path, groups: list[RowGroup],
+                     schedule: RefreshSchedule,
+                     profile: InferredTrrProfile | None = None) -> None:
+    """Persist one module's measurement bundle as JSON."""
+    payload = {
+        "groups": [row_group_to_dict(group) for group in groups],
+        "schedule": schedule_to_dict(schedule),
+        "profile": None if profile is None else profile_to_dict(profile),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_measurement(path) -> tuple[list[RowGroup], RefreshSchedule,
+                                    InferredTrrProfile | None]:
+    """Load a measurement bundle saved by :func:`save_measurement`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    groups = [row_group_from_dict(entry) for entry in payload["groups"]]
+    schedule = schedule_from_dict(payload["schedule"])
+    profile = (None if payload.get("profile") is None
+               else profile_from_dict(payload["profile"]))
+    return groups, schedule, profile

@@ -1,0 +1,42 @@
+"""DRAM device simulator: the substrate U-TRR experiments run against.
+
+The public surface of this package is :class:`DramChip` plus the
+configuration dataclasses; everything else is internal physics.
+"""
+
+from .chip import DeviceConfig, DramChip
+from .commands import ActBatch, HammerMode, single_row_batch
+from .disturbance import DisturbanceConfig
+from .mapping import (BitSwapMapping, DirectMapping, RowMapping,
+                      XorScrambleMapping, available_schemes, make_mapping)
+from .patterns import (AllOnes, AllZeros, ByteFill, Checkerboard,
+                       CustomPattern, DataPattern, inverted)
+from .refresh import RefreshEngine
+from .retention import RetentionConfig
+from .timing import DDR4_DEFAULT, TimingParameters
+
+__all__ = [
+    "ActBatch",
+    "AllOnes",
+    "AllZeros",
+    "BitSwapMapping",
+    "ByteFill",
+    "Checkerboard",
+    "CustomPattern",
+    "DDR4_DEFAULT",
+    "DataPattern",
+    "DeviceConfig",
+    "DirectMapping",
+    "DisturbanceConfig",
+    "DramChip",
+    "HammerMode",
+    "RefreshEngine",
+    "RetentionConfig",
+    "RowMapping",
+    "TimingParameters",
+    "XorScrambleMapping",
+    "available_schemes",
+    "inverted",
+    "make_mapping",
+    "single_row_batch",
+]

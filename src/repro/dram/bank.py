@@ -1,0 +1,239 @@
+"""Bank state: lazily materialized rows with settle-on-observe faults.
+
+A bank tracks only the rows an experiment has touched.  Each tracked row
+stores its data as ``pattern + sparse fault overrides`` plus two fault
+clocks: the wall time of its last charge restoration (any activation or
+refresh restores charge) and its accumulated RowHammer disturbance.
+
+Faults are *settled* lazily, at observation points (reads and refreshes):
+pending retention decay and hammer flips are committed into the fault
+overlay, and only then is the charge clock reset.  A refresh that arrives
+after a cell has already decayed therefore restores the **decayed** value
+— exactly the physical behaviour U-TRR's side channel relies on (§3.2,
+footnote 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import SeedSequenceFactory
+from .commands import ActBatch
+from .disturbance import (DisturbanceConfig, RowHammerProfile,
+                          generate_hammer_profile)
+from .patterns import AllZeros, DataPattern
+from .refresh import RefreshEngine
+from .retention import (RetentionConfig, RowRetentionProfile,
+                        generate_profile)
+
+_EPOCH_PATTERN = AllZeros()
+
+
+class RowState:
+    """Mutable state of one tracked (materialized) row."""
+
+    __slots__ = ("pattern", "faults", "last_recharge_ps", "disturbance",
+                 "retention_profile", "hammer_profile")
+
+    def __init__(self, pattern: DataPattern, last_recharge_ps: int) -> None:
+        self.pattern = pattern
+        #: Sparse overlay: bit position -> stored bit differing from pattern.
+        self.faults: dict[int, int] = {}
+        self.last_recharge_ps = last_recharge_ps
+        #: Accumulated effective hammers since the last charge restoration.
+        self.disturbance = 0.0
+        self.retention_profile: RowRetentionProfile | None = None
+        self.hammer_profile: RowHammerProfile | None = None
+
+    def stored_bits_at(self, positions: np.ndarray) -> np.ndarray:
+        """Current stored bits at *positions* (pattern + fault overlay)."""
+        bits = self.pattern.bits_at(positions).copy()
+        if self.faults:
+            for i, pos in enumerate(positions):
+                value = self.faults.get(int(pos))
+                if value is not None:
+                    bits[i] = value
+        return bits
+
+
+class Bank:
+    """One DRAM bank: physical rows, fault physics, refresh bookkeeping."""
+
+    def __init__(self, index: int, num_rows: int, row_bits: int,
+                 retention_config: RetentionConfig,
+                 disturbance_config: DisturbanceConfig,
+                 seeds: SeedSequenceFactory,
+                 refresh_engine: RefreshEngine) -> None:
+        if num_rows <= 0 or row_bits <= 0:
+            raise ConfigError("num_rows and row_bits must be positive")
+        self.index = index
+        self.num_rows = num_rows
+        self.row_bits = row_bits
+        self.retention_config = retention_config
+        self.disturbance_config = disturbance_config
+        self._seeds = seeds
+        self._refresh_engine = refresh_engine
+        self._vrt_rng = seeds.stream("vrt-dynamics", index)
+        self.rows: dict[int, RowState] = {}
+        #: Tracked rows grouped by regular-refresh slot.
+        self._slot_rows: dict[int, set[int]] = {}
+        #: Most recently activated row: consecutive activations of one
+        #: row cascade across batch boundaries exactly as within one.
+        self._last_activated: int | None = None
+
+    # -- materialization ---------------------------------------------------
+
+    def state(self, row: int) -> RowState:
+        """Return (materializing if needed) the state of physical *row*."""
+        existing = self.rows.get(row)
+        if existing is not None:
+            return existing
+        if not 0 <= row < self.num_rows:
+            raise ConfigError(
+                f"row {row} out of range [0, {self.num_rows})")
+        # A row untouched so far held the epoch pattern and was last
+        # recharged by whichever regular refresh most recently covered it.
+        last = self._refresh_engine.last_regular_refresh_ps(row)
+        state = RowState(_EPOCH_PATTERN, last)
+        self.rows[row] = state
+        slot = self._refresh_engine.slot_of(row)
+        self._slot_rows.setdefault(slot, set()).add(row)
+        return state
+
+    def _retention(self, row: int, state: RowState) -> RowRetentionProfile:
+        if state.retention_profile is None:
+            state.retention_profile = generate_profile(
+                self._seeds, self.index, row, self.retention_config,
+                self.row_bits)
+        return state.retention_profile
+
+    def _hammer(self, row: int, state: RowState) -> RowHammerProfile:
+        if state.hammer_profile is None:
+            state.hammer_profile = generate_hammer_profile(
+                self._seeds, self.index, row, self.disturbance_config,
+                self.row_bits)
+        return state.hammer_profile
+
+    # -- fault settlement --------------------------------------------------
+
+    def settle(self, row: int, now_ps: int) -> None:
+        """Commit pending retention decay and hammer flips into the row."""
+        state = self.state(row)
+        profile = self._retention(row, state)
+        if len(profile):
+            profile.toggle_vrt(
+                self._vrt_rng,
+                self.retention_config.vrt_toggle_probability)
+            elapsed = now_ps - state.last_recharge_ps
+            if elapsed > 0:
+                stored = state.stored_bits_at(profile.positions)
+                for cell in profile.failed_cells(elapsed, stored):
+                    position = int(profile.positions[cell])
+                    state.faults[position] = 1 - int(profile.polarity[cell])
+        if state.disturbance > 0:
+            hammer = self._hammer(row, state)
+            if len(hammer):
+                stored = state.stored_bits_at(hammer.positions)
+                for cell in hammer.flipped_cells(state.disturbance, stored):
+                    position = int(hammer.positions[cell])
+                    state.faults[position] = 1 - int(hammer.polarity[cell])
+
+    def _recharge(self, state: RowState, now_ps: int) -> None:
+        state.last_recharge_ps = now_ps
+        state.disturbance = 0.0
+
+    # -- host-visible operations (physical addressing) ----------------------
+
+    def write(self, row: int, pattern: DataPattern, now_ps: int) -> None:
+        """Overwrite the whole row; restores charge and clears faults."""
+        state = self.state(row)
+        state.pattern = pattern
+        state.faults.clear()
+        self._recharge(state, now_ps)
+
+    def read(self, row: int, now_ps: int) -> np.ndarray:
+        """Settle and return the row's stored bits; the ACT recharges it."""
+        self.settle(row, now_ps)
+        state = self.rows[row]
+        bits = state.pattern.full(self.row_bits)
+        for position, value in state.faults.items():
+            bits[position] = value
+        self._recharge(state, now_ps)
+        return bits
+
+    def read_mismatches(self, row: int, now_ps: int) -> list[int]:
+        """Settle and return positions whose stored bit differs from the
+        row's written pattern (sorted).  The ACT recharges the row."""
+        self.settle(row, now_ps)
+        state = self.rows[row]
+        if state.faults:
+            positions = np.fromiter(state.faults.keys(), dtype=np.int64,
+                                    count=len(state.faults))
+            written = state.pattern.bits_at(positions)
+            stored = np.fromiter(state.faults.values(), dtype=np.uint8,
+                                 count=len(state.faults))
+            result = sorted(int(p) for p, w, s
+                            in zip(positions, written, stored) if w != s)
+        else:
+            result = []
+        self._recharge(state, now_ps)
+        return result
+
+    def absorb_hammering(self, batch: ActBatch, now_ps: int) -> None:
+        """Apply an ACT batch: recharge aggressors, disturb their victims."""
+        if batch.total == 0:
+            return
+        effective = self.disturbance_config.effective_acts(batch)
+        # Cross-batch cascade continuity: if this batch starts with the
+        # row the previous activation ended on, its first activation is a
+        # run continuation, not a fresh full-strength run.
+        first_row = batch.row_at(0)
+        if first_row == self._last_activated and effective.get(first_row):
+            effective[first_row] -= (
+                1.0 - self.disturbance_config.cascade_weight)
+        self._last_activated = batch.row_at(batch.total - 1)
+        for aggressor, eff_acts in effective.items():
+            if not 0 <= aggressor < self.num_rows:
+                raise ConfigError(f"aggressor row {aggressor} out of range")
+            self.settle(aggressor, now_ps)
+            self._recharge(self.rows[aggressor], now_ps)
+            for victim, weight in self.disturbance_config.victims_of(
+                    aggressor, self.num_rows):
+                self.state(victim).disturbance += eff_acts * weight
+
+    def refresh_rows(self, rows, now_ps: int) -> None:
+        """Refresh specific rows (used for TRR-induced refreshes)."""
+        for row in rows:
+            self.settle(row, now_ps)
+            self._recharge(self.rows[row], now_ps)
+
+    def regular_refresh(self, slot: int, now_ps: int) -> None:
+        """Apply a regular-refresh slot to the tracked rows it covers."""
+        for row in self._slot_rows.get(slot, ()):
+            self.settle(row, now_ps)
+            self._recharge(self.rows[row], now_ps)
+
+    # -- ground-truth helpers (tests/analysis only; tools never call) -------
+
+    def true_retention_ps(self, row: int, pattern: DataPattern) -> int:
+        """Ground-truth retention time of *row* under *pattern*."""
+        state = self.state(row)
+        profile = self._retention(row, state)
+        if not len(profile):
+            return np.iinfo(np.int64).max
+        return profile.min_retention_ps(pattern.bits_at(profile.positions))
+
+    def true_min_hammer_threshold(self, row: int,
+                                  pattern: DataPattern | None = None
+                                  ) -> float:
+        """Ground-truth weakest victim-cell threshold of *row*.
+
+        With *pattern* given, only cells whose charged polarity is exposed
+        by the stored data count (RowHammer is data-dependent).
+        """
+        state = self.state(row)
+        profile = self._hammer(row, state)
+        if pattern is None:
+            return profile.base_threshold
+        return profile.min_threshold_for(pattern.bits_at(profile.positions))

@@ -1,0 +1,266 @@
+"""The simulated DRAM chip: virtual clock, banks, refresh, TRR hook.
+
+:class:`DramChip` is the device-under-test.  Hosts (the SoftMC layer)
+drive it through logical row addresses and DDR-shaped operations; the
+chip internally decodes logical to physical addresses, applies
+disturbance and retention physics, executes regular refresh slots, and
+gives its TRR mechanism the chance to piggyback victim refreshes on
+every REF command — all invisible to the host except through data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import SeedSequenceFactory
+from ..trr.base import NoTrr, TrrContext, TrrMechanism
+from ..units import NOMINAL_REFS_PER_WINDOW
+from .bank import Bank
+from .commands import ActBatch, HammerMode
+from .disturbance import DisturbanceConfig
+from .mapping import RowMapping, make_mapping
+from .patterns import DataPattern
+from .refresh import RefreshEngine
+from .retention import RetentionConfig
+from .timing import DDR4_DEFAULT, TimingParameters
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static description of a simulated DRAM chip."""
+
+    name: str = "generic-ddr4"
+    serial: int = 0
+    num_banks: int = 16
+    rows_per_bank: int = 32_768
+    row_bits: int = 8_192
+    timing: TimingParameters = DDR4_DEFAULT
+    mapping_scheme: str = "direct"
+    retention: RetentionConfig = field(default_factory=RetentionConfig)
+    disturbance: DisturbanceConfig = field(
+        default_factory=DisturbanceConfig)
+    #: REF commands per full regular-refresh pass (Vendor A: 3758).
+    refresh_cycle_refs: int = NOMINAL_REFS_PER_WINDOW
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise ConfigError("num_banks must be positive")
+        if self.rows_per_bank <= 0:
+            raise ConfigError("rows_per_bank must be positive")
+        if self.row_bits <= 0 or self.row_bits % 64:
+            raise ConfigError("row_bits must be a positive multiple of 64")
+
+    def scaled(self, **overrides) -> "DeviceConfig":
+        """Return a copy with some fields replaced (bench scaling helper)."""
+        return replace(self, **overrides)
+
+
+class ChipStats:
+    """Mutable command counters (reads by tests and benchmarks)."""
+
+    __slots__ = ("activates", "refreshes", "row_reads", "row_writes",
+                 "trr_refreshes")
+
+    def __init__(self) -> None:
+        self.activates = 0
+        self.refreshes = 0
+        self.row_reads = 0
+        self.row_writes = 0
+        self.trr_refreshes = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class DramChip:
+    """A simulated DDR4 chip with an (optional, hidden) TRR mechanism."""
+
+    def __init__(self, config: DeviceConfig,
+                 trr: TrrMechanism | None = None) -> None:
+        self.config = config
+        self.now_ps = 0
+        self.stats = ChipStats()
+        self._seeds = SeedSequenceFactory("chip", config.name, config.serial)
+        self.refresh_engine = RefreshEngine(
+            config.rows_per_bank, config.refresh_cycle_refs)
+        self.mapping: RowMapping = make_mapping(
+            config.mapping_scheme, config.rows_per_bank)
+        self.banks = [
+            Bank(index, config.rows_per_bank, config.row_bits,
+                 config.retention, config.disturbance, self._seeds,
+                 self.refresh_engine)
+            for index in range(config.num_banks)
+        ]
+        self.trr = trr if trr is not None else NoTrr()
+        self.trr.bind(TrrContext(
+            num_banks=config.num_banks,
+            num_rows=config.rows_per_bank,
+            paired_rows=config.disturbance.paired_coupling))
+
+    # -- clock ---------------------------------------------------------------
+
+    def wait(self, duration_ps: int) -> None:
+        """Let the chip sit idle (no refresh!) for *duration_ps*."""
+        if duration_ps < 0:
+            raise ConfigError("cannot wait a negative duration")
+        self.now_ps += duration_ps
+
+    # -- internal helpers ------------------------------------------------------
+
+    def _bank(self, bank: int) -> Bank:
+        try:
+            return self.banks[bank]
+        except IndexError:
+            raise ConfigError(
+                f"bank {bank} out of range [0, {self.config.num_banks})"
+            ) from None
+
+    def _physical_batch(self, batch: ActBatch) -> ActBatch:
+        pattern = tuple((self.mapping.to_physical(row), count)
+                        for row, count in batch.pattern)
+        return ActBatch(bank=batch.bank, pattern=pattern, mode=batch.mode)
+
+    def _ingest(self, physical_batch: ActBatch) -> None:
+        """Feed one physical ACT batch to physics and TRR."""
+        self._bank(physical_batch.bank).absorb_hammering(
+            physical_batch, self.now_ps)
+        self.trr.on_activations(physical_batch.bank, physical_batch,
+                                self.now_ps)
+        for victim_bank, victim_row in self.trr.immediate_refreshes(
+                physical_batch.bank, physical_batch):
+            self._bank(victim_bank).refresh_rows([victim_row], self.now_ps)
+            self.stats.trr_refreshes += 1
+        self.stats.activates += physical_batch.total
+
+    def _single_act(self, bank: int, logical_row: int) -> int:
+        """Account for the implicit ACT of a row read/write; returns the
+        physical row."""
+        physical = self.mapping.to_physical(logical_row)
+        batch = ActBatch(bank=bank, pattern=((physical, 1),),
+                         mode=HammerMode.CASCADED)
+        self._ingest(batch)
+        return physical
+
+    # -- host-visible operations (logical addressing) -------------------------
+
+    def write_row(self, bank: int, logical_row: int,
+                  pattern: DataPattern) -> None:
+        """Activate *logical_row* and overwrite it with *pattern*."""
+        physical = self._single_act(bank, logical_row)
+        self._bank(bank).write(physical, pattern, self.now_ps)
+        timing = self.config.timing
+        self.now_ps += timing.trcd_ps + timing.burst_write_ps + timing.trp_ps
+        self.stats.row_writes += 1
+
+    def read_row(self, bank: int, logical_row: int) -> np.ndarray:
+        """Activate and read the full row; returns a 0/1 uint8 bit array."""
+        physical = self._single_act(bank, logical_row)
+        bits = self._bank(bank).read(physical, self.now_ps)
+        timing = self.config.timing
+        self.now_ps += timing.trcd_ps + timing.burst_read_ps + timing.trp_ps
+        self.stats.row_reads += 1
+        return bits
+
+    def read_row_mismatches(self, bank: int, logical_row: int) -> list[int]:
+        """Read the row and return bit positions differing from the data
+        last written to it (the retention side channel's raw signal)."""
+        physical = self._single_act(bank, logical_row)
+        mismatches = self._bank(bank).read_mismatches(physical, self.now_ps)
+        timing = self.config.timing
+        self.now_ps += timing.trcd_ps + timing.burst_read_ps + timing.trp_ps
+        self.stats.row_reads += 1
+        return mismatches
+
+    def hammer(self, batch: ActBatch) -> None:
+        """Execute an ordered ACT/PRE batch against one bank."""
+        physical = self._physical_batch(batch)
+        self._ingest(physical)
+        self.now_ps += self.config.timing.hammer_duration_ps(batch.total)
+
+    def hammer_multi(self, batches: list[ActBatch]) -> None:
+        """Hammer several banks in parallel (tFAW-limited, max 4 banks)."""
+        if not batches:
+            return
+        seen_banks = {batch.bank for batch in batches}
+        if len(seen_banks) != len(batches):
+            raise ConfigError("hammer_multi requires distinct banks")
+        for batch in batches:
+            self._ingest(self._physical_batch(batch))
+        max_count = max(batch.total for batch in batches)
+        self.now_ps += self.config.timing.multi_bank_hammer_duration_ps(
+            max_count, len(batches))
+
+    def refresh(self, count: int = 1, spacing_ps: int | None = None) -> None:
+        """Issue *count* REF commands.
+
+        ``spacing_ps`` is the time between consecutive REF issue points
+        (defaults to back-to-back: each REF only consumes tRFC).  Pass
+        ``timing.trefi_ps`` to refresh at the nominal controller cadence.
+        """
+        if count < 0:
+            raise ConfigError("refresh count must be non-negative")
+        timing = self.config.timing
+        if spacing_ps is not None and spacing_ps < timing.trfc_ps:
+            raise ConfigError("REF spacing below tRFC")
+        for _ in range(count):
+            start = self.now_ps
+            self.now_ps += timing.trfc_ps
+            slot = self.refresh_engine.on_ref(self.now_ps)
+            for bank in self.banks:
+                bank.regular_refresh(slot, self.now_ps)
+            for victim_bank, victim_row in self.trr.on_refresh():
+                self._bank(victim_bank).refresh_rows(
+                    [victim_row], self.now_ps)
+                self.stats.trr_refreshes += 1
+            self.stats.refreshes += 1
+            if spacing_ps is not None:
+                self.now_ps = start + spacing_ps
+
+    # -- raw command primitives (no clock movement; used by DdrBus) -----------
+
+    def raw_activate(self, bank: int, logical_row: int) -> int:
+        """One ACT's physics (disturb neighbors, feed TRR, recharge the
+        row) without advancing the clock — the caller owns DDR timing."""
+        return self._single_act(bank, logical_row)
+
+    def raw_read(self, bank: int, logical_row: int) -> np.ndarray:
+        """Read an (already activated) row's bits; no clock movement, no
+        extra ACT — the activation happened at raw_activate time."""
+        physical = self.mapping.to_physical(logical_row)
+        bits = self._bank(bank).read(physical, self.now_ps)
+        self.stats.row_reads += 1
+        return bits
+
+    def raw_write(self, bank: int, logical_row: int,
+                  pattern: DataPattern) -> None:
+        """Overwrite an (already activated) row; no clock movement."""
+        physical = self.mapping.to_physical(logical_row)
+        self._bank(bank).write(physical, pattern, self.now_ps)
+        self.stats.row_writes += 1
+
+    def raw_refresh(self) -> None:
+        """One REF's internal work (regular slot + TRR piggyback) without
+        advancing the clock."""
+        slot = self.refresh_engine.on_ref(self.now_ps)
+        for bank in self.banks:
+            bank.regular_refresh(slot, self.now_ps)
+        for victim_bank, victim_row in self.trr.on_refresh():
+            self._bank(victim_bank).refresh_rows([victim_row], self.now_ps)
+            self.stats.trr_refreshes += 1
+        self.stats.refreshes += 1
+
+    # -- ground truth (tests / evaluation reporting only) ----------------------
+
+    def true_retention_ps(self, bank: int, logical_row: int,
+                          pattern: DataPattern) -> int:
+        physical = self.mapping.to_physical(logical_row)
+        return self._bank(bank).true_retention_ps(physical, pattern)
+
+    def true_min_hammer_threshold(self, bank: int, logical_row: int,
+                                  pattern: DataPattern | None = None
+                                  ) -> float:
+        physical = self.mapping.to_physical(logical_row)
+        return self._bank(bank).true_min_hammer_threshold(physical, pattern)

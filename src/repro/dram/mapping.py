@@ -1,0 +1,162 @@
+"""Logical-to-physical DRAM row address mapping schemes.
+
+§5.3 of the paper: consecutive *logical* row addresses (as seen by the
+memory controller) are not necessarily physically adjacent in silicon —
+the row decoder may scramble addresses, and post-manufacturing repair may
+remap rows.  A TRR mechanism refreshes rows that are *physically*
+adjacent to an aggressor, so U-TRR must first reverse-engineer the
+mapping.  This module provides the mapping schemes the simulator implants
+and that :mod:`repro.core.mapping_re` recovers through the RowHammer side
+channel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from ..errors import ConfigError, MappingError
+
+
+class RowMapping(ABC):
+    """Bijection between logical and physical row addresses of one bank."""
+
+    def __init__(self, num_rows: int) -> None:
+        if num_rows <= 0:
+            raise ConfigError("num_rows must be positive")
+        self.num_rows = num_rows
+
+    @abstractmethod
+    def to_physical(self, logical: int) -> int:
+        """Translate a logical row address to its physical location."""
+
+    @abstractmethod
+    def to_logical(self, physical: int) -> int:
+        """Translate a physical row location back to its logical address."""
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.num_rows:
+            raise MappingError(
+                f"row address {address} out of range [0, {self.num_rows})")
+
+    def physical_neighbors(self, physical: int, distance: int) -> list[int]:
+        """In-bounds physical rows at exactly *distance* from *physical*."""
+        self._check(physical)
+        if distance <= 0:
+            raise ConfigError("distance must be positive")
+        neighbors = []
+        for candidate in (physical - distance, physical + distance):
+            if 0 <= candidate < self.num_rows:
+                neighbors.append(candidate)
+        return neighbors
+
+    def logical_neighbors(self, logical: int, distance: int) -> list[int]:
+        """Logical addresses of rows physically adjacent to *logical*."""
+        physical = self.to_physical(logical)
+        return [self.to_logical(p)
+                for p in self.physical_neighbors(physical, distance)]
+
+
+class DirectMapping(RowMapping):
+    """Identity mapping: logical order is preserved in silicon."""
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return physical
+
+
+class BitSwapMapping(RowMapping):
+    """Row decoder that swaps two address bits (a common scramble).
+
+    Self-inverse, which matches real decoders: the same circuit translates
+    in both directions.  ``num_rows`` must be a power of two covering both
+    swapped bits.
+    """
+
+    def __init__(self, num_rows: int, bit_a: int, bit_b: int) -> None:
+        super().__init__(num_rows)
+        if num_rows & (num_rows - 1):
+            raise ConfigError("BitSwapMapping requires power-of-two num_rows")
+        top = num_rows.bit_length() - 1
+        if not (0 <= bit_a < top and 0 <= bit_b < top):
+            raise ConfigError(f"swapped bits must be below bit {top}")
+        self.bit_a = bit_a
+        self.bit_b = bit_b
+
+    def _swap(self, address: int) -> int:
+        a = (address >> self.bit_a) & 1
+        b = (address >> self.bit_b) & 1
+        if a == b:
+            return address
+        return address ^ ((1 << self.bit_a) | (1 << self.bit_b))
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return self._swap(logical)
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return self._swap(physical)
+
+
+class XorScrambleMapping(RowMapping):
+    """Decoder that XORs a low address bit into its neighbor.
+
+    Models the "logical order mostly preserved but locally scrambled"
+    layout reported for some vendors: ``physical = logical ^ ((logical >>
+    source_bit & 1) << target_bit)``.  Self-inverse when ``source_bit !=
+    target_bit``.
+    """
+
+    def __init__(self, num_rows: int, source_bit: int = 1,
+                 target_bit: int = 0) -> None:
+        super().__init__(num_rows)
+        if num_rows & (num_rows - 1):
+            raise ConfigError(
+                "XorScrambleMapping requires power-of-two num_rows")
+        if source_bit == target_bit:
+            raise ConfigError("source and target bits must differ")
+        top = num_rows.bit_length() - 1
+        if not (0 <= source_bit < top and 0 <= target_bit < top):
+            raise ConfigError(f"bits must be below bit {top}")
+        self.source_bit = source_bit
+        self.target_bit = target_bit
+
+    def _translate(self, address: int) -> int:
+        bit = (address >> self.source_bit) & 1
+        return address ^ (bit << self.target_bit)
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return self._translate(logical)
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return self._translate(physical)
+
+
+_SCHEMES = {
+    "direct": lambda rows: DirectMapping(rows),
+    "bit_swap_0_1": lambda rows: BitSwapMapping(rows, 0, 1),
+    "bit_swap_1_2": lambda rows: BitSwapMapping(rows, 1, 2),
+    "xor_1_0": lambda rows: XorScrambleMapping(rows, 1, 0),
+    "xor_2_0": lambda rows: XorScrambleMapping(rows, 2, 0),
+}
+
+
+def make_mapping(scheme: str, num_rows: int) -> RowMapping:
+    """Construct a named mapping scheme (see module registry specs)."""
+    try:
+        factory = _SCHEMES[scheme]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mapping scheme {scheme!r}; "
+            f"known: {sorted(_SCHEMES)}") from None
+    return factory(num_rows)
+
+
+def available_schemes() -> list[str]:
+    """Names accepted by :func:`make_mapping`."""
+    return sorted(_SCHEMES)

@@ -1,0 +1,131 @@
+"""Row data patterns.
+
+Retention and RowHammer failures are data-dependent (§3.2): a weak cell
+only decays, and a victim cell only flips, when the stored bit holds the
+cell's charged polarity.  Row Scout and TRR Analyzer must therefore write
+the *same* pattern when profiling and when running experiments.
+
+Patterns are represented symbolically (not as materialized arrays) so a
+full-bank scan does not allocate row-sized buffers per row: a row's
+stored state is ``pattern + sparse fault overrides``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Bit order convention: bit index b lives in byte b // 8, bit b % 8
+#: (LSB-first within the byte).
+
+
+class DataPattern(ABC):
+    """A deterministic bit pattern over a row."""
+
+    name: str = "pattern"
+
+    @abstractmethod
+    def bits_at(self, positions: np.ndarray) -> np.ndarray:
+        """Pattern bits (0/1, uint8) at the given bit positions."""
+
+    def full(self, row_bits: int) -> np.ndarray:
+        """Materialize the whole pattern as a uint8 0/1 array."""
+        return self.bits_at(np.arange(row_bits, dtype=np.int64))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class AllOnes(DataPattern):
+    """Every bit set — the paper's canonical profiling pattern."""
+
+    name = "all-ones"
+
+    def bits_at(self, positions: np.ndarray) -> np.ndarray:
+        return np.ones(len(positions), dtype=np.uint8)
+
+
+class AllZeros(DataPattern):
+    """Every bit clear."""
+
+    name = "all-zeros"
+
+    def bits_at(self, positions: np.ndarray) -> np.ndarray:
+        return np.zeros(len(positions), dtype=np.uint8)
+
+
+class Checkerboard(DataPattern):
+    """Alternating bits; *phase* selects 0101... (0) or 1010... (1)."""
+
+    name = "checkerboard"
+
+    def __init__(self, phase: int = 0) -> None:
+        if phase not in (0, 1):
+            raise ConfigError("checkerboard phase must be 0 or 1")
+        self.phase = phase
+
+    def bits_at(self, positions: np.ndarray) -> np.ndarray:
+        return ((positions + self.phase) % 2).astype(np.uint8)
+
+    def _key(self) -> tuple:
+        return (self.phase,)
+
+
+class ByteFill(DataPattern):
+    """Every byte holds the same 8-bit value (e.g. 0x55 row stripes)."""
+
+    name = "byte-fill"
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value <= 0xFF:
+            raise ConfigError("byte value must be in [0, 255]")
+        self.value = value
+
+    def bits_at(self, positions: np.ndarray) -> np.ndarray:
+        return ((self.value >> (positions % 8)) & 1).astype(np.uint8)
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+class CustomPattern(DataPattern):
+    """Arbitrary bit content; materialized (use for small/targeted rows)."""
+
+    name = "custom"
+
+    def __init__(self, bits: np.ndarray) -> None:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ConfigError("custom pattern must be a 1-D bit array")
+        if bits.size and int(bits.max(initial=0)) > 1:
+            raise ConfigError("custom pattern bits must be 0/1")
+        self.bits = bits
+
+    def bits_at(self, positions: np.ndarray) -> np.ndarray:
+        return self.bits[positions]
+
+    def full(self, row_bits: int) -> np.ndarray:
+        if row_bits != self.bits.size:
+            raise ConfigError(
+                f"pattern holds {self.bits.size} bits, row has {row_bits}")
+        return self.bits.copy()
+
+    def _key(self) -> tuple:
+        return (self.bits.tobytes(),)
+
+
+def inverted(pattern: DataPattern, row_bits: int) -> CustomPattern:
+    """Bitwise complement of *pattern* (used for aggressor-row data)."""
+    return CustomPattern(1 - pattern.full(row_bits))

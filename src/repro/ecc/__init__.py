@@ -1,0 +1,29 @@
+"""Error-correction substrate: SECDED, Reed-Solomon, Chipkill (§7.4)."""
+
+from .analysis import (EccAssessment, assess_ecc, dataword_flip_counts,
+                       required_rs_parity_symbols,
+                       verify_chipkill_with_rs)
+from .chipkill import ChipkillLayout, ChipkillOutcome, chipkill_rs
+from .hamming import (CODE_BITS, DATA_BITS, DecodeResult, DecodeStatus,
+                      classify_flips, decode, encode)
+from .reed_solomon import ReedSolomon, RSDecodeOutcome
+
+__all__ = [
+    "CODE_BITS",
+    "ChipkillLayout",
+    "ChipkillOutcome",
+    "DATA_BITS",
+    "DecodeResult",
+    "DecodeStatus",
+    "EccAssessment",
+    "RSDecodeOutcome",
+    "ReedSolomon",
+    "assess_ecc",
+    "chipkill_rs",
+    "classify_flips",
+    "dataword_flip_counts",
+    "decode",
+    "encode",
+    "required_rs_parity_symbols",
+    "verify_chipkill_with_rs",
+]

@@ -1,0 +1,143 @@
+"""Dataword-level analysis of RowHammer bit flips (§7.4, Figure 10).
+
+Buckets attack-induced flip positions into 8-byte datawords, histograms
+the per-word flip counts (Figure 10's distribution), and classifies each
+word against SECDED and Chipkill protections.  The paper's conclusion —
+one SECDED-correctable flip dominates, but words with 3..7 flips occur
+and silently defeat both schemes — falls out of these counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from .chipkill import ChipkillLayout, ChipkillOutcome
+from .hamming import DecodeStatus, classify_flips
+
+WORD_BITS = 64
+
+
+def dataword_flip_counts(flips_by_row: dict[int, list[int]],
+                         word_bits: int = WORD_BITS) -> Counter:
+    """Figure 10's histogram: per-word flip count -> number of words.
+
+    *flips_by_row* maps rows to flipped bit positions (as produced by
+    :func:`repro.attacks.run_vulnerability_sweep`).  Words with zero
+    flips are not counted (the paper plots words with >= 1 flip).
+    """
+    if word_bits <= 0:
+        raise ConfigError("word_bits must be positive")
+    histogram: Counter = Counter()
+    for row, positions in flips_by_row.items():
+        per_word: Counter = Counter()
+        for position in positions:
+            per_word[position // word_bits] += 1
+        for count in per_word.values():
+            histogram[count] += 1
+    return histogram
+
+
+@dataclass
+class EccAssessment:
+    """Outcome counts of SECDED / Chipkill against a flip population."""
+
+    secded: Counter = field(default_factory=Counter)
+    chipkill: Counter = field(default_factory=Counter)
+    words_total: int = 0
+    max_flips_in_word: int = 0
+
+    @property
+    def secded_defeated(self) -> int:
+        """Words where SECDED mis- or un-corrects silently."""
+        return self.secded[DecodeStatus.SILENT_CORRUPTION]
+
+    @property
+    def chipkill_defeated(self) -> int:
+        return self.chipkill[ChipkillOutcome.BEYOND_GUARANTEE]
+
+
+def _word_flip_offsets(flips_by_row: dict[int, list[int]],
+                       word_bits: int):
+    """Yield per-word flip offsets (positions within the word)."""
+    for row, positions in flips_by_row.items():
+        words: dict[int, list[int]] = {}
+        for position in positions:
+            words.setdefault(position // word_bits, []).append(
+                position % word_bits)
+        yield from words.values()
+
+
+#: SECDED codeword data-bit positions, index i = data bit i (module-level
+#: so repeated assessments reuse it).
+from .hamming import _DATA_POSITIONS as _SECDED_DATA_POSITIONS  # noqa: E402
+
+
+def assess_ecc(flips_by_row: dict[int, list[int]],
+               layout: ChipkillLayout | None = None,
+               word_bits: int = WORD_BITS) -> EccAssessment:
+    """Classify every flipped dataword against SECDED and Chipkill.
+
+    SECDED outcomes run the real (72,64) decoder with the word's flips
+    injected at the corresponding codeword positions; Chipkill outcomes
+    use the SSC-DSD symbol model.
+    """
+    layout = layout or ChipkillLayout(symbol_bits=4, data_bits=word_bits)
+    assessment = EccAssessment()
+    for offsets in _word_flip_offsets(flips_by_row, word_bits):
+        assessment.words_total += 1
+        assessment.max_flips_in_word = max(assessment.max_flips_in_word,
+                                           len(offsets))
+        codeword_positions = [_SECDED_DATA_POSITIONS[offset]
+                              for offset in offsets]
+        assessment.secded[classify_flips(codeword_positions)] += 1
+        assessment.chipkill[layout.classify(offsets)] += 1
+    return assessment
+
+
+def verify_chipkill_with_rs(flips_by_row: dict[int, list[int]],
+                            word_bits: int = WORD_BITS) -> dict:
+    """Cross-check the symbol-count Chipkill model against a real code.
+
+    For every flipped dataword, inject the flips into an actual SSC-DSD
+    Reed-Solomon codeword (x8 symbols) and decode.  Returns counts of
+    words the real decoder corrected, rejected (detected), or silently
+    mis-decoded — with the invariant (asserted by tests) that every
+    single-symbol word decodes cleanly and no multi-symbol word is
+    silently accepted as corrected-back-to-original.
+    """
+    import numpy as np
+
+    from .chipkill import chipkill_rs
+    from ..errors import DecodingError
+
+    layout = ChipkillLayout(symbol_bits=8, data_bits=word_bits)
+    rs = chipkill_rs(layout)
+    rng = np.random.default_rng(12345)
+    outcome = {"corrected": 0, "rejected": 0, "silent": 0}
+    for offsets in _word_flip_offsets(flips_by_row, word_bits):
+        data = [int(v) for v in rng.integers(0, 256, size=rs.k)]
+        codeword = rs.encode(data)
+        corrupted = list(codeword)
+        for offset in offsets:
+            corrupted[offset // 8] ^= 1 << (offset % 8)
+        try:
+            decoded = rs.decode(corrupted)
+        except DecodingError:
+            outcome["rejected"] += 1
+            continue
+        if decoded.data == data:
+            outcome["corrected"] += 1
+        else:
+            outcome["silent"] += 1
+    return outcome
+
+
+def required_rs_parity_symbols(max_flips: int) -> int:
+    """Parity symbols a Reed-Solomon code needs to *detect* (and correct
+    half of) the worst-case flip count, one flipped symbol per flip
+    (§7.4's closing argument: 7 flips demand >= 7 parity symbols)."""
+    if max_flips < 0:
+        raise ConfigError("max_flips must be >= 0")
+    return max_flips

@@ -1,0 +1,103 @@
+"""GF(2^8) arithmetic for Reed-Solomon codes.
+
+Log/antilog-table implementation over the primitive polynomial
+x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by most storage and
+memory RS codes.
+"""
+
+from __future__ import annotations
+
+from ..errors import DecodingError
+
+PRIMITIVE_POLY = 0x11D
+FIELD_SIZE = 256
+
+_EXP = [0] * (2 * FIELD_SIZE)
+_LOG = [0] * FIELD_SIZE
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(FIELD_SIZE - 1):
+        _EXP[power] = value
+        _LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    for power in range(FIELD_SIZE - 1, 2 * FIELD_SIZE):
+        _EXP[power] = _EXP[power - (FIELD_SIZE - 1)]
+
+
+_build_tables()
+
+
+def add(a: int, b: int) -> int:
+    """Addition = subtraction = XOR in characteristic 2."""
+    return a ^ b
+
+
+def multiply(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def divide(a: int, b: int) -> int:
+    if b == 0:
+        raise DecodingError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % (FIELD_SIZE - 1)]
+
+
+def power(a: int, exponent: int) -> int:
+    if a == 0:
+        if exponent == 0:
+            return 1
+        return 0
+    return _EXP[(_LOG[a] * exponent) % (FIELD_SIZE - 1)]
+
+
+def inverse(a: int) -> int:
+    if a == 0:
+        raise DecodingError("zero has no inverse in GF(256)")
+    return _EXP[(FIELD_SIZE - 1) - _LOG[a]]
+
+
+def generator(power_of_alpha: int = 1) -> int:
+    """alpha^k, with alpha = 2 the field generator."""
+    return _EXP[power_of_alpha % (FIELD_SIZE - 1)]
+
+
+# -- polynomial helpers (coefficient lists, lowest degree first) -------------
+
+def poly_multiply(a: list[int], b: list[int]) -> list[int]:
+    result = [0] * (len(a) + len(b) - 1)
+    for i, coeff_a in enumerate(a):
+        if coeff_a == 0:
+            continue
+        for j, coeff_b in enumerate(b):
+            result[i + j] ^= multiply(coeff_a, coeff_b)
+    return result
+
+
+def poly_evaluate(poly: list[int], x: int) -> int:
+    """Horner evaluation at *x* (coefficients lowest-first)."""
+    result = 0
+    for coeff in reversed(poly):
+        result = multiply(result, x) ^ coeff
+    return result
+
+
+def poly_scale(poly: list[int], factor: int) -> list[int]:
+    return [multiply(coeff, factor) for coeff in poly]
+
+
+def poly_add(a: list[int], b: list[int]) -> list[int]:
+    length = max(len(a), len(b))
+    result = [0] * length
+    for i, coeff in enumerate(a):
+        result[i] ^= coeff
+    for i, coeff in enumerate(b):
+        result[i] ^= coeff
+    return result

@@ -1,0 +1,132 @@
+"""SECDED Hamming code over 64-bit datawords — the (72,64) memory ECC.
+
+The standard DIMM-side protection the paper evaluates against (§7.4):
+single-error-correct, double-error-detect.  Implemented as a shortened
+Hamming(127,120) plus an overall parity bit:
+
+* codeword bit positions 1..71 follow classic Hamming numbering: the
+  power-of-two positions hold check bits, the rest hold the 64 data bits;
+* position 0 holds the overall parity of all 72 bits;
+* a non-zero syndrome with odd overall parity locates a single flipped
+  bit; a non-zero syndrome with even parity signals an uncorrectable
+  (>= 2-bit) error.
+
+Three or more flips defeat the code silently or with a miscorrection —
+exactly the failure mode the U-TRR patterns trigger.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+DATA_BITS = 64
+CODE_BITS = 72
+_CHECK_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+_DATA_POSITIONS = tuple(p for p in range(1, CODE_BITS)
+                        if p not in _CHECK_POSITIONS)
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+
+class DecodeStatus(enum.Enum):
+    CLEAN = "clean"                #: no error observed
+    CORRECTED = "corrected"        #: single bit corrected
+    DETECTED = "detected"          #: uncorrectable error flagged
+    #: The decoder "corrected" the wrong bit or saw nothing — data is
+    #: silently wrong (the >= 3-flip failure mode of 7.4).
+    SILENT_CORRUPTION = "silent-corruption"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    status: DecodeStatus
+    data: np.ndarray               #: 64 decoded data bits
+    corrected_position: int | None = None
+
+
+def _as_bits(array, length: int, name: str) -> np.ndarray:
+    bits = np.asarray(array, dtype=np.uint8)
+    if bits.shape != (length,):
+        raise ConfigError(f"{name} must be {length} bits")
+    if bits.size and int(bits.max(initial=0)) > 1:
+        raise ConfigError(f"{name} bits must be 0/1")
+    return bits
+
+
+def encode(data_bits) -> np.ndarray:
+    """Encode 64 data bits into a 72-bit SECDED codeword."""
+    data = _as_bits(data_bits, DATA_BITS, "data")
+    code = np.zeros(CODE_BITS, dtype=np.uint8)
+    code[list(_DATA_POSITIONS)] = data
+    for check in _CHECK_POSITIONS:
+        mask = [p for p in range(1, CODE_BITS) if p & check and p != check]
+        code[check] = code[mask].sum() % 2
+    code[0] = code[1:].sum() % 2
+    return code
+
+
+def _syndrome(code: np.ndarray) -> int:
+    syndrome = 0
+    for check in _CHECK_POSITIONS:
+        mask = [p for p in range(1, CODE_BITS) if p & check]
+        if code[mask].sum() % 2:
+            syndrome |= check
+    return syndrome
+
+
+def decode(code_bits) -> DecodeResult:
+    """Decode a 72-bit word; classifies the outcome truthfully.
+
+    A >= 3-bit error may alias to a valid or single-error codeword; the
+    decoder then reports CORRECTED/CLEAN with wrong data.  Use
+    :func:`classify_flips` when the injected error is known, to label
+    such outcomes as silent corruption.
+    """
+    code = _as_bits(code_bits, CODE_BITS, "codeword").copy()
+    syndrome = _syndrome(code)
+    parity_mismatch = bool(code.sum() % 2)
+    if syndrome == 0 and not parity_mismatch:
+        return DecodeResult(DecodeStatus.CLEAN, code[list(_DATA_POSITIONS)])
+    if parity_mismatch:
+        # Odd number of flips: treat as a single error at `syndrome`
+        # (syndrome 0 means the overall parity bit itself flipped).
+        position = syndrome
+        if position >= CODE_BITS:
+            return DecodeResult(DecodeStatus.DETECTED,
+                                code[list(_DATA_POSITIONS)])
+        code[position] ^= 1
+        return DecodeResult(DecodeStatus.CORRECTED,
+                            code[list(_DATA_POSITIONS)],
+                            corrected_position=position)
+    # Even parity with non-zero syndrome: classic double-error detection.
+    return DecodeResult(DecodeStatus.DETECTED, code[list(_DATA_POSITIONS)])
+
+
+def classify_flips(flip_positions) -> DecodeStatus:
+    """Ground-truth outcome of SECDED against a known flip set.
+
+    Encodes a word, injects the flips, decodes, and compares the decoded
+    data against the original — labelling wrong-but-confident outcomes
+    as SILENT_CORRUPTION.  Position indices are codeword positions
+    (0..71).
+    """
+    flips = sorted(set(int(p) for p in flip_positions))
+    if any(not 0 <= p < CODE_BITS for p in flips):
+        raise ConfigError("flip positions must be within the codeword")
+    rng = np.random.default_rng(len(flips))
+    data = rng.integers(0, 2, size=DATA_BITS, dtype=np.uint8)
+    code = encode(data)
+    for position in flips:
+        code[position] ^= 1
+    result = decode(code)
+    if not flips:
+        return DecodeStatus.CLEAN
+    if result.status is DecodeStatus.DETECTED:
+        return DecodeStatus.DETECTED
+    if np.array_equal(result.data, data):
+        return DecodeStatus.CORRECTED
+    return DecodeStatus.SILENT_CORRUPTION

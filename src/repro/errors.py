@@ -1,0 +1,48 @@
+"""Exception hierarchy for the U-TRR reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied by the caller."""
+
+
+class TimingViolationError(ReproError):
+    """A DDR command sequence violated a DRAM timing constraint."""
+
+
+class ProtocolError(ReproError):
+    """A DDR command was issued in an illegal bank/row state.
+
+    For example: activating a bank that already has an open row, or
+    reading from a bank with no open row.
+    """
+
+
+class ProfilingError(ReproError):
+    """Row Scout could not satisfy the requested profiling configuration."""
+
+
+class ExperimentError(ReproError):
+    """A TRR Analyzer experiment was configured or executed incorrectly."""
+
+
+class MappingError(ReproError):
+    """A logical/physical row address translation failed."""
+
+
+class DecodingError(ReproError):
+    """An ECC codeword could not be decoded (uncorrectable error)."""
+
+
+class AttackConfigError(ConfigError):
+    """A RowHammer access pattern was configured inconsistently."""

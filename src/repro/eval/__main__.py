@@ -1,0 +1,78 @@
+"""Command-line entry point: ``python -m repro.eval <artifact>``.
+
+Artifacts: table1, fig8, fig9, fig10, ablations.  ``--modules`` selects
+specific Table 1 modules (default: one representative per TRR version;
+pass ``--modules all`` for the full 45-module run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..vendors import all_modules
+from . import (REPRESENTATIVE_MODULES, TABLE1_REPRESENTATIVES, get_scale,
+               run_baseline_ablation, run_dummy_count_ablation, run_fig8,
+               run_fig9, run_fig10, run_hammer_mode_ablation,
+               run_mitigation_ablation, run_table1)
+from .fig8 import SWEEPS
+
+
+def _module_ids(argument: str | None, default: tuple[str, ...]) -> list[str]:
+    if argument is None:
+        return list(default)
+    if argument == "all":
+        return [spec.module_id for spec in all_modules()]
+    return argument.split(",")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.eval")
+    parser.add_argument("artifact",
+                        choices=["table1", "fig8", "fig9", "fig10",
+                                 "ablations", "survey"])
+    parser.add_argument("--modules", default=None,
+                        help="comma-separated module ids, or 'all'")
+    parser.add_argument("--scale", default="standard",
+                        choices=["standard", "quick"])
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+
+    started = time.time()
+    if args.artifact == "survey":
+        from .survey import run_survey
+        result = run_survey(_module_ids(args.modules,
+                                        TABLE1_REPRESENTATIVES), scale)
+        print(result.render())
+    elif args.artifact == "table1":
+        result = run_table1(_module_ids(args.modules,
+                                        TABLE1_REPRESENTATIVES), scale)
+        print(result.render())
+    elif args.artifact == "fig8":
+        for module_id in _module_ids(args.modules, tuple(SWEEPS)):
+            print(run_fig8(module_id, scale).render())
+            print()
+    elif args.artifact == "fig9":
+        result = run_fig9(_module_ids(args.modules,
+                                      REPRESENTATIVE_MODULES), scale)
+        print(result.render())
+    elif args.artifact == "fig10":
+        result = run_fig10(_module_ids(args.modules,
+                                       REPRESENTATIVE_MODULES), scale)
+        print(result.render())
+    else:
+        print(run_hammer_mode_ablation(scale).render())
+        print()
+        print(run_dummy_count_ablation(scale).render())
+        print()
+        print(run_baseline_ablation(scale).render())
+        print()
+        print(run_mitigation_ablation(scale).render())
+    print(f"\n[{args.artifact} done in {time.time() - started:.1f}s "
+          f"at scale '{scale.name}']")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Plain-text table and series rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Fixed-width text table (all cells stringified)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(header.ljust(width)
+                            for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(value.ljust(width)
+                                for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(label: str, pairs: Sequence[tuple]) -> str:
+    """One x->y series as aligned text (for figure-style outputs)."""
+    lines = [label]
+    for x, y in pairs:
+        lines.append(f"  {x!s:>12} : {y}")
+    return "\n".join(lines)
+
+
+def render_histogram(label: str, counts: dict, width: int = 40) -> str:
+    """Log-ish bar rendering of a {bucket: count} histogram."""
+    lines = [label]
+    if not counts:
+        lines.append("  (empty)")
+        return "\n".join(lines)
+    peak = max(counts.values())
+    for bucket in sorted(counts):
+        count = counts[bucket]
+        bar = "#" * max(1, round(width * count / peak)) if count else ""
+        lines.append(f"  {bucket!s:>6} | {count:>10} {bar}")
+    return "\n".join(lines)
+
+
+def format_pct(fraction: float) -> str:
+    return f"{100 * fraction:.1f}%"

@@ -1,0 +1,105 @@
+"""Deterministic random-stream derivation.
+
+The simulator must generate *stable* per-row properties (weak cells,
+retention times, RowHammer thresholds) without storing them for every row
+of every bank: a 64K-row bank would otherwise need tens of megabytes of
+state before a single experiment runs.  Instead, every row's properties
+are drawn from a PCG64 stream whose seed is derived from a hierarchical
+key such as ``("module", serial, "bank", 3, "row", 4711, "retention")``.
+
+Key derivation uses BLAKE2b (stable across processes and Python versions,
+unlike the built-in ``hash``), so a module with a given serial number
+behaves identically in every run, every test, and every benchmark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+KeyPart = int | str | bytes | float
+
+
+def derive_seed(*parts: KeyPart) -> int:
+    """Derive a stable 64-bit seed from a hierarchical key.
+
+    >>> derive_seed("module", 7, "row", 42) == derive_seed("module", 7, "row", 42)
+    True
+    >>> derive_seed("a", 1) != derive_seed("a", 2)
+    True
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        if isinstance(part, bytes):
+            raw = b"b" + part
+        elif isinstance(part, str):
+            raw = b"s" + part.encode("utf-8")
+        elif isinstance(part, bool):  # bool before int: bool is an int subclass
+            raw = b"o" + (b"1" if part else b"0")
+        elif isinstance(part, int):
+            raw = b"i" + str(part).encode("ascii")
+        elif isinstance(part, float):
+            raw = b"f" + repr(part).encode("ascii")
+        else:
+            raise TypeError(f"unsupported key part type: {type(part)!r}")
+        h.update(len(raw).to_bytes(4, "little"))
+        h.update(raw)
+    return int.from_bytes(h.digest(), "little")
+
+
+def stream(*parts: KeyPart) -> np.random.Generator:
+    """Return a fresh PCG64 generator for the hierarchical key *parts*."""
+    return np.random.Generator(np.random.PCG64(derive_seed(*parts)))
+
+
+class SeedSequenceFactory:
+    """Convenience factory that prefixes every derived stream with a root key.
+
+    A :class:`~repro.dram.chip.DramChip` owns one factory keyed by the
+    module serial; all device randomness (cell maps, sampling TRR, etc.)
+    flows through it so that two chips with the same serial are bit-exact
+    replicas and two chips with different serials are independent.
+    """
+
+    def __init__(self, *root: KeyPart) -> None:
+        self._root: tuple[KeyPart, ...] = tuple(root)
+
+    @property
+    def root(self) -> tuple[KeyPart, ...]:
+        return self._root
+
+    def seed(self, *parts: KeyPart) -> int:
+        return derive_seed(*self._root, *parts)
+
+    def stream(self, *parts: KeyPart) -> np.random.Generator:
+        return stream(*self._root, *parts)
+
+    def child(self, *parts: KeyPart) -> "SeedSequenceFactory":
+        """Return a factory rooted one level deeper."""
+        return SeedSequenceFactory(*self._root, *parts)
+
+
+def choice_without(rng: np.random.Generator, low: int, high: int,
+                   exclude: Iterable[int], size: int) -> list[int]:
+    """Sample *size* distinct integers from ``[low, high)`` avoiding *exclude*.
+
+    Used e.g. to pick dummy rows far from profiled rows.  Raises
+    ``ValueError`` if the candidate space is too small.
+    """
+    excluded = set(exclude)
+    available = (high - low) - len([x for x in excluded if low <= x < high])
+    if available < size:
+        raise ValueError(
+            f"cannot sample {size} rows from [{low}, {high}) "
+            f"with {len(excluded)} exclusions")
+    picked: list[int] = []
+    seen = set(excluded)
+    while len(picked) < size:
+        candidate = int(rng.integers(low, high))
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        picked.append(candidate)
+    return picked

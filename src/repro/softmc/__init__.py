@@ -1,0 +1,22 @@
+"""SoftMC-style command-level host access (the experiment boundary)."""
+
+from .bus import Ddr, DdrBus, TimedCommand
+from .interface import SoftMCHost
+from .program import (CheckRow, Hammer, Loop, ProgramResult, ReadRow,
+                      Refresh, SoftMCProgram, Wait, WriteRow)
+
+__all__ = [
+    "CheckRow",
+    "Ddr",
+    "DdrBus",
+    "TimedCommand",
+    "Hammer",
+    "Loop",
+    "ProgramResult",
+    "ReadRow",
+    "Refresh",
+    "SoftMCHost",
+    "SoftMCProgram",
+    "Wait",
+    "WriteRow",
+]

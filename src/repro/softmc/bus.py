@@ -1,0 +1,190 @@
+"""Command-granular DDR bus: the abstraction level real SoftMC exposes.
+
+:class:`SoftMCHost` offers convenient row-level operations; real
+experiments compile down to individual DDR commands with the memory
+controller responsible for every timing rule.  :class:`DdrBus` is that
+layer: one method per DDR command, a per-bank open-row state machine,
+and enforcement of the constraints U-TRR's analysis leans on —
+
+* ACT only on a precharged (idle) bank, PRE only after tRAS, re-ACT only
+  after tRP (together: the tRC hammer cost);
+* RD/WR only on an open row and only after tRCD;
+* cross-bank ACTs spaced by tRRD and at most four per tFAW window
+  (footnote 12's limit on multi-bank dummy hammering);
+* REF only with every bank precharged, occupying tRFC.
+
+Commands auto-delay to their earliest legal issue time by default; pass
+``at_ps`` to demand an exact issue time and get a
+:class:`~repro.errors.TimingViolationError` when it is too early.  Every
+issued command lands in :attr:`DdrBus.trace` for audit/replay.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dram import DataPattern, DramChip
+from ..errors import ProtocolError, TimingViolationError
+
+
+class Ddr(enum.Enum):
+    """DDR command mnemonics."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+
+
+@dataclass(frozen=True)
+class TimedCommand:
+    """One issued command, as recorded in the bus trace."""
+
+    command: Ddr
+    issue_ps: int
+    bank: int | None = None
+    row: int | None = None
+
+
+class _BankState:
+    __slots__ = ("open_row", "act_ps", "pre_ps")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.act_ps = -(10 ** 15)
+        self.pre_ps = -(10 ** 15)
+
+
+class DdrBus:
+    """Command-level access to one chip with full timing enforcement."""
+
+    def __init__(self, chip: DramChip, record_trace: bool = True) -> None:
+        self._chip = chip
+        self._timing = chip.config.timing
+        self._banks = [_BankState() for _ in range(chip.config.num_banks)]
+        self._recent_acts: deque[int] = deque(maxlen=4)
+        self._last_act_ps = -(10 ** 15)
+        self._busy_until_ps = 0
+        self.record_trace = record_trace
+        self.trace: list[TimedCommand] = []
+        self.ref_count = 0
+
+    # -- scheduling helpers ---------------------------------------------------
+
+    @property
+    def now_ps(self) -> int:
+        return self._chip.now_ps
+
+    def _issue(self, earliest_ps: int, at_ps: int | None,
+               command: Ddr, bank: int | None = None,
+               row: int | None = None) -> int:
+        earliest_ps = max(earliest_ps, self._busy_until_ps, self.now_ps)
+        if at_ps is None:
+            issue_ps = earliest_ps
+        else:
+            if at_ps < earliest_ps:
+                raise TimingViolationError(
+                    f"{command.value} at {at_ps} ps violates timing; "
+                    f"earliest legal issue is {earliest_ps} ps")
+            issue_ps = at_ps
+        if issue_ps > self.now_ps:
+            self._chip.wait(issue_ps - self.now_ps)
+        if self.record_trace:
+            self.trace.append(TimedCommand(command, issue_ps, bank, row))
+        return issue_ps
+
+    def _bank(self, bank: int) -> _BankState:
+        try:
+            return self._banks[bank]
+        except IndexError:
+            raise ProtocolError(f"bank {bank} does not exist") from None
+
+    # -- the five commands -----------------------------------------------------
+
+    def activate(self, bank: int, row: int,
+                 at_ps: int | None = None) -> int:
+        """ACT: open *row* in *bank* (the RowHammer-relevant command)."""
+        state = self._bank(bank)
+        if state.open_row is not None:
+            raise ProtocolError(
+                f"bank {bank} already has row {state.open_row} open; "
+                "PRE first")
+        timing = self._timing
+        earliest = state.pre_ps + timing.trp_ps
+        earliest = max(earliest, self._last_act_ps + timing.trrd_ps)
+        if len(self._recent_acts) == 4:
+            earliest = max(earliest,
+                           self._recent_acts[0] + timing.tfaw_ps)
+        issue = self._issue(earliest, at_ps, Ddr.ACT, bank, row)
+        self._chip.raw_activate(bank, row)
+        state.open_row = row
+        state.act_ps = issue
+        self._last_act_ps = issue
+        self._recent_acts.append(issue)
+        return issue
+
+    def precharge(self, bank: int, at_ps: int | None = None) -> int:
+        """PRE: close the bank's open row (legal tRAS after its ACT)."""
+        state = self._bank(bank)
+        if state.open_row is None:
+            raise ProtocolError(f"bank {bank} has no open row")
+        issue = self._issue(state.act_ps + self._timing.tras_ps, at_ps,
+                            Ddr.PRE, bank, state.open_row)
+        state.open_row = None
+        state.pre_ps = issue
+        return issue
+
+    def read(self, bank: int, at_ps: int | None = None) -> np.ndarray:
+        """RD: burst out the open row (modeled at row granularity)."""
+        state = self._bank(bank)
+        if state.open_row is None:
+            raise ProtocolError(f"bank {bank} has no open row to read")
+        self._issue(state.act_ps + self._timing.trcd_ps, at_ps, Ddr.RD,
+                    bank, state.open_row)
+        self._busy_until_ps = self.now_ps + self._timing.burst_read_ps
+        return self._chip.raw_read(bank, state.open_row)
+
+    def write(self, bank: int, pattern: DataPattern,
+              at_ps: int | None = None) -> int:
+        """WR: burst *pattern* into the open row."""
+        state = self._bank(bank)
+        if state.open_row is None:
+            raise ProtocolError(f"bank {bank} has no open row to write")
+        issue = self._issue(state.act_ps + self._timing.trcd_ps, at_ps,
+                            Ddr.WR, bank, state.open_row)
+        self._chip.raw_write(bank, state.open_row, pattern)
+        self._busy_until_ps = self.now_ps + self._timing.burst_write_ps
+        return issue
+
+    def refresh(self, at_ps: int | None = None) -> int:
+        """REF: all banks must be precharged; occupies tRFC."""
+        open_banks = [index for index, state in enumerate(self._banks)
+                      if state.open_row is not None]
+        if open_banks:
+            raise ProtocolError(
+                f"REF with open rows in banks {open_banks}; PRE them first")
+        issue = self._issue(0, at_ps, Ddr.REF)
+        self._busy_until_ps = issue + self._timing.trfc_ps
+        self._chip.wait(self._busy_until_ps - self.now_ps)
+        self._chip.raw_refresh()
+        self.ref_count += 1
+        return issue
+
+    # -- composite conveniences --------------------------------------------------
+
+    def hammer_once(self, bank: int, row: int) -> int:
+        """One full ACT/PRE cycle (the unit the paper counts)."""
+        issue = self.activate(bank, row)
+        self.precharge(bank)
+        return issue
+
+    def open_rows(self) -> dict[int, int]:
+        """Currently open row per bank."""
+        return {index: state.open_row
+                for index, state in enumerate(self._banks)
+                if state.open_row is not None}

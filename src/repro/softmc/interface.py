@@ -1,0 +1,163 @@
+"""SoftMC-style host interface.
+
+The paper implements Row Scout and TRR Analyzer on SoftMC, an FPGA-based
+infrastructure giving the experimenter command-level control over a DDR4
+module (§3.3).  :class:`SoftMCHost` is that boundary in this
+reproduction: it owns the experimenter's view of time and REF counts, and
+forwards DDR-shaped operations to the device under test.
+
+Everything in :mod:`repro.core` and :mod:`repro.attacks` talks to the
+chip exclusively through this class — never through the chip's internals
+— which is what keeps the reverse-engineering honest: the only
+observables are read-back data and the host's own clock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from ..dram import ActBatch, DataPattern, DramChip, HammerMode
+from ..errors import ConfigError
+from ..units import ms, us
+
+
+class SoftMCHost:
+    """Command-level host access to one DRAM module."""
+
+    def __init__(self, chip: DramChip) -> None:
+        self._chip = chip
+        #: REF commands issued by this host (the experimenter's counter;
+        #: regular-refresh periodicity is expressed in this index).
+        self.ref_count = 0
+        #: Activations issued per bank (the experimenter's own ledger —
+        #: phase-locked attacks track the deterministic sampler with it).
+        self.acts_per_bank: dict[int, int] = {}
+
+    def _count_acts(self, bank: int, count: int) -> None:
+        self.acts_per_bank[bank] = self.acts_per_bank.get(bank, 0) + count
+
+    # -- experimenter-visible module facts ---------------------------------
+
+    @property
+    def now_ps(self) -> int:
+        """The host's wall clock (it drives the bus, so it knows time)."""
+        return self._chip.now_ps
+
+    @property
+    def num_banks(self) -> int:
+        return self._chip.config.num_banks
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self._chip.config.rows_per_bank
+
+    @property
+    def row_bits(self) -> int:
+        return self._chip.config.row_bits
+
+    @property
+    def timing(self):
+        return self._chip.config.timing
+
+    def hammers_per_ref_interval(self) -> int:
+        """Single-bank ACT budget between two nominal REFs (footnote 10)."""
+        return self.timing.hammers_per_ref_interval()
+
+    # -- data movement -------------------------------------------------------
+
+    def write_row(self, bank: int, row: int, pattern: DataPattern) -> None:
+        """Write *pattern* into the row (logical addressing)."""
+        self._count_acts(bank, 1)
+        self._chip.write_row(bank, row, pattern)
+
+    def read_row(self, bank: int, row: int) -> np.ndarray:
+        """Read the row's current bits."""
+        self._count_acts(bank, 1)
+        return self._chip.read_row(bank, row)
+
+    def read_row_mismatches(self, bank: int, row: int) -> list[int]:
+        """Bit positions differing from the last written data."""
+        self._count_acts(bank, 1)
+        return self._chip.read_row_mismatches(bank, row)
+
+    # -- hammering -------------------------------------------------------------
+
+    def hammer(self, bank: int, pattern: Iterable[tuple[int, int]],
+               mode: HammerMode = HammerMode.INTERLEAVED) -> None:
+        """Hammer rows of one bank with per-row counts in *mode* order."""
+        entries = tuple((row, count) for row, count in pattern)
+        self._count_acts(bank, sum(count for _, count in entries))
+        self._chip.hammer(ActBatch(bank=bank, pattern=entries, mode=mode))
+
+    def hammer_single(self, bank: int, row: int, count: int) -> None:
+        """Hammer one row *count* times (a cascaded run)."""
+        self._count_acts(bank, count)
+        self._chip.hammer(ActBatch(bank=bank, pattern=((row, count),),
+                                   mode=HammerMode.CASCADED))
+
+    def hammer_multi(self, per_bank: Mapping[int, Iterable[tuple[int, int]]],
+                     mode: HammerMode = HammerMode.CASCADED) -> None:
+        """Hammer several banks in parallel (at most 4: tFAW)."""
+        batches = [
+            ActBatch(bank=bank,
+                     pattern=tuple((row, count) for row, count in rows),
+                     mode=mode)
+            for bank, rows in per_bank.items()
+        ]
+        for batch in batches:
+            self._count_acts(batch.bank, batch.total)
+        self._chip.hammer_multi(batches)
+
+    # -- refresh and time --------------------------------------------------------
+
+    def refresh(self, count: int = 1, at_nominal_rate: bool = False) -> None:
+        """Issue *count* REF commands.
+
+        ``at_nominal_rate`` spaces them at tREFI (one per 7.8 us), as a
+        standard memory controller would; otherwise they are issued
+        back-to-back (each still occupying tRFC).
+        """
+        spacing = self.timing.trefi_ps if at_nominal_rate else None
+        self._chip.refresh(count=count, spacing_ps=spacing)
+        self.ref_count += count
+
+    def wait(self, duration_ps: int) -> None:
+        """Idle without issuing any command (refresh stays disabled)."""
+        self._chip.wait(duration_ps)
+
+    def wait_us(self, duration_us: float) -> None:
+        self.wait(us(duration_us))
+
+    def wait_ms(self, duration_ms: float) -> None:
+        self.wait(ms(duration_ms))
+
+    # -- convenience for dummy-row selection ---------------------------------
+
+    def pick_rows_away_from(self, bank: int, keep_clear: Iterable[int],
+                            count: int, min_distance: int = 100,
+                            rng: np.random.Generator | None = None
+                            ) -> list[int]:
+        """Pick *count* rows at least *min_distance* away from every row in
+        *keep_clear* (TRR Analyzer's dummy-row rule, §5.2)."""
+        protected = sorted(set(keep_clear))
+        if rng is None:
+            rng = np.random.default_rng(0)
+        candidates = []
+        seen: set[int] = set()
+        attempts = 0
+        limit = 200 * max(count, 1)
+        while len(candidates) < count:
+            attempts += 1
+            if attempts > limit:
+                raise ConfigError(
+                    f"cannot find {count} rows {min_distance} away from "
+                    f"{len(protected)} protected rows in bank {bank}")
+            row = int(rng.integers(0, self.rows_per_bank))
+            if row in seen:
+                continue
+            seen.add(row)
+            if all(abs(row - p) >= min_distance for p in protected):
+                candidates.append(row)
+        return candidates

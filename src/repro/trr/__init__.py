@@ -1,0 +1,27 @@
+"""In-DRAM Target Row Refresh mechanisms (the reverse-engineering target).
+
+These implementations encode the vendor behaviours the paper uncovered
+(§6).  They sit behind the chip boundary: the U-TRR tools in
+:mod:`repro.core` never import them — they recover their parameters
+through the retention side channel, and the test suite checks the
+recovered values against each mechanism's :class:`TrrGroundTruth`.
+"""
+
+from .base import (NoTrr, TrrContext, TrrGroundTruth, TrrMechanism,
+                   neighbor_victims)
+from .counter import CounterBasedTrr
+from .para import ParaMitigation
+from .sampling import SamplingBasedTrr
+from .window import WindowBasedTrr
+
+__all__ = [
+    "CounterBasedTrr",
+    "NoTrr",
+    "ParaMitigation",
+    "SamplingBasedTrr",
+    "TrrContext",
+    "TrrGroundTruth",
+    "TrrMechanism",
+    "WindowBasedTrr",
+    "neighbor_victims",
+]

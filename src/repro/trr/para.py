@@ -1,0 +1,74 @@
+"""PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+
+The classic *stateless* RowHammer mitigation the literature contrasts
+TRR against (§2.4 group iii without tracking): on every activation,
+with a small probability p, the chip immediately refreshes the activated
+row's neighbors.  No tables, no samplers, no REF piggybacking — and
+therefore nothing for a dummy-row diversion to occupy.
+
+Included as the paper's future-work direction ("U-TRR can be useful for
+improving the security of these works"): the inference pipeline
+classifies PARA as *REF-independent* (victims get refreshed with zero
+REF commands issued), and the §7.1 custom patterns gain nothing over
+plain double-sided hammering against it (see
+``examples/mitigation_study.py``).
+"""
+
+from __future__ import annotations
+
+from ..dram.commands import ActBatch
+from ..errors import ConfigError
+from ..rng import SeedSequenceFactory
+from .base import TrrGroundTruth, TrrMechanism, neighbor_victims
+
+
+class ParaMitigation(TrrMechanism):
+    """Stateless per-ACT probabilistic neighbor refresh."""
+
+    def __init__(self, probability: float = 1.0 / 500.0,
+                 neighbor_radius: int = 1, seed: int = 0) -> None:
+        super().__init__()
+        if not 0 < probability < 1:
+            raise ConfigError("probability must be in (0, 1)")
+        if neighbor_radius < 1:
+            raise ConfigError("neighbor_radius must be >= 1")
+        self.probability = probability
+        self.neighbor_radius = neighbor_radius
+        self._seed = seed
+        self._rng = SeedSequenceFactory("para", seed).stream("acts")
+
+    def on_activations(self, bank: int, batch: ActBatch,
+                       now_ps: int = 0) -> None:
+        pass  # stateless; the work happens in immediate_refreshes
+
+    def immediate_refreshes(self, bank: int,
+                            batch: ActBatch) -> list[tuple[int, int]]:
+        victims: list[tuple[int, int]] = []
+        for row, count in batch.counts_by_row().items():
+            if count <= 0:
+                continue
+            # At least one of `count` independent p-coin flips.
+            draws = self._rng.binomial(count, self.probability)
+            if draws >= 1:
+                for victim in neighbor_victims(row, self.neighbor_radius,
+                                               self.context):
+                    victims.append((bank, victim))
+        return victims
+
+    def on_refresh(self) -> list[tuple[int, int]]:
+        return []
+
+    def power_cycle(self) -> None:
+        self._rng = SeedSequenceFactory("para", self._seed).stream("acts")
+
+    @property
+    def ground_truth(self) -> TrrGroundTruth:
+        return TrrGroundTruth(
+            kind="para",
+            trr_ref_period=0,
+            neighbors_refreshed=2 * self.neighbor_radius,
+            aggressor_capacity=None,
+            per_bank=True,
+            extra={"probability": self.probability,
+                   "ref_independent": True},
+        )

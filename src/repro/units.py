@@ -1,0 +1,66 @@
+"""Time units and DDR4 constants.
+
+All simulator timestamps are integer **picoseconds**.  Integer arithmetic
+keeps the virtual clock exact: experiments compare "elapsed time since a
+row was refreshed" against per-cell retention times, and floating-point
+drift would blur exactly the boundary the retention side channel relies on.
+
+Helper constructors (:func:`ns`, :func:`us`, :func:`ms`, :func:`seconds`)
+accept floats for convenience and round to the nearest picosecond.
+"""
+
+from __future__ import annotations
+
+#: Picoseconds per unit.
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def ns(value: float) -> int:
+    """Return *value* nanoseconds as integer picoseconds."""
+    return round(value * PS_PER_NS)
+
+
+def us(value: float) -> int:
+    """Return *value* microseconds as integer picoseconds."""
+    return round(value * PS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Return *value* milliseconds as integer picoseconds."""
+    return round(value * PS_PER_MS)
+
+
+def seconds(value: float) -> int:
+    """Return *value* seconds as integer picoseconds."""
+    return round(value * PS_PER_S)
+
+
+def to_ms(picoseconds: int) -> float:
+    """Convert integer picoseconds to float milliseconds."""
+    return picoseconds / PS_PER_MS
+
+
+def to_us(picoseconds: int) -> float:
+    """Convert integer picoseconds to float microseconds."""
+    return picoseconds / PS_PER_US
+
+
+def to_ns(picoseconds: int) -> float:
+    """Convert integer picoseconds to float nanoseconds."""
+    return picoseconds / PS_PER_NS
+
+
+#: DDR4 nominal refresh interval between two REF commands (JESD79-4).
+TREFI_PS = us(7.8)
+
+#: Nominal full-chip refresh period: every row refreshed once per window.
+TREFW_PS = ms(64.0)
+
+#: Number of REF commands the controller issues per 64 ms refresh window.
+REFS_PER_WINDOW = TREFW_PS // TREFI_PS  # = 8205 at 7.8 us; JEDEC nominal 8192
+
+#: JEDEC nominal REF count per window used throughout the paper (8K).
+NOMINAL_REFS_PER_WINDOW = 8192

@@ -1,0 +1,17 @@
+"""Module registry: the 45 DDR4 modules of Table 1 as buildable specs."""
+
+from .registry import (FIGURE8_MODULES, all_modules, get_module,
+                       modules_by_vendor, modules_by_version)
+from .spec import ModuleSpec, PaperResults, TrrVersion, build_module
+
+__all__ = [
+    "FIGURE8_MODULES",
+    "ModuleSpec",
+    "PaperResults",
+    "TrrVersion",
+    "all_modules",
+    "build_module",
+    "get_module",
+    "modules_by_vendor",
+    "modules_by_version",
+]

@@ -1,0 +1,175 @@
+"""The 45 DDR4 modules of Table 1.
+
+Every module row of the paper's Table 1 is encoded here: organization,
+date code, implanted HC_first (interpolated across each group's reported
+range), TRR version, and the paper-reported result columns used only for
+the EXPERIMENTS.md comparison.
+
+A handful of modules are given non-identity row mappings so the §5.3
+mapping reverse-engineering stage has real work to do; the paper does not
+report per-module decoder layouts, so this is an implant choice
+(documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .spec import ModuleSpec, PaperResults, TrrVersion
+
+
+def _interpolate(low: int, high: int, index: int, count: int) -> int:
+    """Spread *count* values evenly across [low, high]."""
+    if count == 1:
+        return low
+    return low + (high - low) * index // (count - 1)
+
+
+def _group(prefix: str, first: int, last: int, *, date: str, density: int,
+           ranks: int, banks: int, pins: int, hc_range: tuple[int, int],
+           version: TrrVersion, vulnerable: tuple[float, float],
+           flips: tuple[float, float], cycle: int = 8192,
+           paired: bool = False, mapping: str = "direct"
+           ) -> list[ModuleSpec]:
+    vendor = prefix
+    count = last - first + 1
+    specs = []
+    for i in range(count):
+        specs.append(ModuleSpec(
+            module_id=f"{prefix}{first + i}",
+            vendor=vendor,
+            date_code=date,
+            density_gbit=density,
+            ranks=ranks,
+            num_banks=banks,
+            pins=pins,
+            hc_first=_interpolate(hc_range[0], hc_range[1], i, count),
+            trr_version=version,
+            refresh_cycle_refs=cycle,
+            mapping_scheme=mapping,
+            paired_rows=paired,
+            paper=PaperResults(
+                hc_first_range=hc_range,
+                vulnerable_rows_pct_range=vulnerable,
+                max_flips_per_row_per_hammer_range=flips),
+        ))
+    return specs
+
+
+def _build_registry() -> dict[str, ModuleSpec]:
+    specs: list[ModuleSpec] = []
+    # ---- Vendor A (counter-based TRR, 3758-REF refresh pass: Obs A8) ----
+    specs += _group("A", 0, 0, date="19-50", density=8, ranks=1, banks=16,
+                    pins=8, hc_range=(16_000, 16_000),
+                    version=TrrVersion.A_TRR1, cycle=3758,
+                    vulnerable=(73.3, 73.3), flips=(1.16, 1.16))
+    specs += _group("A", 1, 5, date="19-36", density=8, ranks=1, banks=8,
+                    pins=16, hc_range=(13_000, 15_000),
+                    version=TrrVersion.A_TRR1, cycle=3758,
+                    mapping="bit_swap_0_1",
+                    vulnerable=(99.2, 99.4), flips=(2.32, 4.73))
+    specs += _group("A", 6, 7, date="19-45", density=8, ranks=1, banks=8,
+                    pins=16, hc_range=(13_000, 15_000),
+                    version=TrrVersion.A_TRR1, cycle=3758,
+                    vulnerable=(99.3, 99.4), flips=(2.12, 3.86))
+    specs += _group("A", 8, 9, date="20-07", density=8, ranks=1, banks=16,
+                    pins=8, hc_range=(12_000, 14_000),
+                    version=TrrVersion.A_TRR1, cycle=3758,
+                    vulnerable=(74.6, 75.0), flips=(1.96, 2.96))
+    specs += _group("A", 10, 12, date="19-51", density=8, ranks=1, banks=16,
+                    pins=8, hc_range=(12_000, 13_000),
+                    version=TrrVersion.A_TRR1, cycle=3758,
+                    vulnerable=(74.6, 75.0), flips=(1.48, 2.86))
+    specs += _group("A", 13, 14, date="20-31", density=8, ranks=1, banks=8,
+                    pins=16, hc_range=(11_000, 14_000),
+                    version=TrrVersion.A_TRR2, cycle=3758,
+                    vulnerable=(94.3, 98.6), flips=(1.53, 2.78))
+    # ---- Vendor B (sampling-based TRR) ----
+    specs += _group("B", 0, 0, date="18-22", density=4, ranks=1, banks=16,
+                    pins=8, hc_range=(44_000, 44_000),
+                    version=TrrVersion.B_TRR1,
+                    vulnerable=(99.9, 99.9), flips=(2.13, 2.13))
+    specs += _group("B", 1, 4, date="20-17", density=4, ranks=1, banks=16,
+                    pins=8, hc_range=(159_000, 192_000),
+                    version=TrrVersion.B_TRR1,
+                    vulnerable=(23.3, 51.2), flips=(0.06, 0.11))
+    specs += _group("B", 5, 6, date="16-48", density=4, ranks=1, banks=16,
+                    pins=8, hc_range=(44_000, 50_000),
+                    version=TrrVersion.B_TRR1,
+                    vulnerable=(99.9, 99.9), flips=(1.85, 2.03))
+    specs += _group("B", 7, 7, date="19-06", density=8, ranks=2, banks=16,
+                    pins=8, hc_range=(20_000, 20_000),
+                    version=TrrVersion.B_TRR1,
+                    vulnerable=(99.9, 99.9), flips=(31.14, 31.14))
+    specs += _group("B", 8, 8, date="18-03", density=4, ranks=1, banks=16,
+                    pins=8, hc_range=(43_000, 43_000),
+                    version=TrrVersion.B_TRR1,
+                    vulnerable=(99.9, 99.9), flips=(2.57, 2.57))
+    specs += _group("B", 9, 12, date="19-48", density=8, ranks=1, banks=16,
+                    pins=8, hc_range=(42_000, 65_000),
+                    version=TrrVersion.B_TRR2, mapping="xor_1_0",
+                    vulnerable=(36.3, 38.9), flips=(16.83, 24.26))
+    specs += _group("B", 13, 14, date="20-08", density=4, ranks=1, banks=16,
+                    pins=8, hc_range=(11_000, 14_000),
+                    version=TrrVersion.B_TRR3,
+                    vulnerable=(99.9, 99.9), flips=(16.20, 18.12))
+    # ---- Vendor C (window-based TRR; C0-8 pair-isolated rows) ----
+    specs += _group("C", 0, 3, date="16-48", density=4, ranks=1, banks=16,
+                    pins=8, hc_range=(137_000, 194_000),
+                    version=TrrVersion.C_TRR1, paired=True,
+                    vulnerable=(1.0, 23.2), flips=(0.05, 0.15))
+    specs += _group("C", 4, 6, date="17-12", density=8, ranks=1, banks=16,
+                    pins=8, hc_range=(130_000, 150_000),
+                    version=TrrVersion.C_TRR1, paired=True,
+                    vulnerable=(7.8, 12.0), flips=(0.06, 0.08))
+    specs += _group("C", 7, 8, date="20-31", density=8, ranks=1, banks=8,
+                    pins=16, hc_range=(40_000, 44_000),
+                    version=TrrVersion.C_TRR1, paired=True,
+                    vulnerable=(39.8, 41.8), flips=(9.66, 14.56))
+    specs += _group("C", 9, 11, date="20-31", density=8, ranks=1, banks=8,
+                    pins=16, hc_range=(42_000, 53_000),
+                    version=TrrVersion.C_TRR2,
+                    vulnerable=(99.7, 99.7), flips=(9.30, 32.04))
+    specs += _group("C", 12, 14, date="20-46", density=16, ranks=1, banks=8,
+                    pins=16, hc_range=(6_000, 7_000),
+                    version=TrrVersion.C_TRR3,
+                    vulnerable=(99.9, 99.9), flips=(4.91, 12.64))
+    registry = {spec.module_id: spec for spec in specs}
+    if len(registry) != len(specs):
+        raise AssertionError("duplicate module ids in registry")
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def all_modules() -> list[ModuleSpec]:
+    """All 45 Table 1 modules, in A0..C14 order."""
+    return list(_REGISTRY.values())
+
+
+def get_module(module_id: str) -> ModuleSpec:
+    """Look up one module by id (e.g. ``"A5"``)."""
+    try:
+        return _REGISTRY[module_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown module {module_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def modules_by_vendor(vendor: str) -> list[ModuleSpec]:
+    """All modules of one vendor ("A", "B" or "C")."""
+    found = [spec for spec in _REGISTRY.values() if spec.vendor == vendor]
+    if not found:
+        raise ConfigError(f"unknown vendor {vendor!r}")
+    return found
+
+
+def modules_by_version(version: TrrVersion) -> list[ModuleSpec]:
+    """All modules implementing one TRR version."""
+    return [spec for spec in _REGISTRY.values()
+            if spec.trr_version is version]
+
+
+#: The representative modules the paper uses for Figure 8 (footnote 15).
+FIGURE8_MODULES = ("A5", "B8", "C7")

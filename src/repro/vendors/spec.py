@@ -1,0 +1,163 @@
+"""Module specifications: one per DDR4 module of Table 1.
+
+A :class:`ModuleSpec` carries two kinds of information:
+
+* **Organization and implant parameters** — what the simulator needs to
+  build a chip that behaves like the module (banks, rows, HC_first, TRR
+  version and its parameters, refresh cycle, row mapping).
+* **Paper-reported results** — the Table 1 measurement columns
+  (HC_first range, % vulnerable rows, max bit flips per row per hammer),
+  kept for the EXPERIMENTS.md paper-vs-measured comparison.  These never
+  influence the simulation.
+
+``build_module`` turns a spec into a ready :class:`DramChip` with its TRR
+mechanism attached; ``sim_rows_per_bank`` scales bank sizes down for
+tractable sweeps while preserving every behaviour U-TRR probes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..dram import (DeviceConfig, DisturbanceConfig, DramChip,
+                    RetentionConfig)
+from ..errors import ConfigError
+from ..rng import derive_seed
+from ..trr import (CounterBasedTrr, NoTrr, SamplingBasedTrr, TrrMechanism,
+                   WindowBasedTrr)
+
+
+class TrrVersion(enum.Enum):
+    """TRR implementations observed across the 45 modules (Table 1)."""
+
+    A_TRR1 = "A_TRR1"
+    A_TRR2 = "A_TRR2"
+    B_TRR1 = "B_TRR1"
+    B_TRR2 = "B_TRR2"
+    B_TRR3 = "B_TRR3"
+    C_TRR1 = "C_TRR1"
+    C_TRR2 = "C_TRR2"
+    C_TRR3 = "C_TRR3"
+    NONE = "NONE"
+
+    @property
+    def vendor(self) -> str:
+        return self.value[0] if self.value != "NONE" else "-"
+
+
+@dataclass(frozen=True)
+class PaperResults:
+    """Table 1 measurement columns, as the paper reports them."""
+
+    hc_first_range: tuple[int, int]
+    vulnerable_rows_pct_range: tuple[float, float]
+    max_flips_per_row_per_hammer_range: tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Full description of one DDR4 module under test."""
+
+    module_id: str               #: e.g. "A5", "B13"
+    vendor: str                  #: "A" | "B" | "C"
+    date_code: str               #: manufacturing date, "yy-ww"
+    density_gbit: int
+    ranks: int
+    num_banks: int
+    pins: int                    #: data pins per chip (x8 / x16)
+    hc_first: int                #: implanted double-sided HC_first
+    trr_version: TrrVersion
+    #: REFs per full regular-refresh pass (Obs A8: vendor A uses 3758).
+    refresh_cycle_refs: int = 8192
+    mapping_scheme: str = "direct"
+    paired_rows: bool = False    #: vendor C modules C0-8
+    paper: PaperResults | None = None
+
+    def __post_init__(self) -> None:
+        if self.vendor not in ("A", "B", "C", "-"):
+            raise ConfigError(f"unknown vendor {self.vendor!r}")
+        if self.hc_first <= 0:
+            raise ConfigError("hc_first must be positive")
+        if self.num_banks not in (8, 16):
+            raise ConfigError("DDR4 chips have 8 or 16 banks")
+
+    @property
+    def nominal_rows_per_bank(self) -> int:
+        """Row count of the real module's banks (§7.3: 32K vs 64K)."""
+        per_density = {4: 2**19, 8: 2**20, 16: 2**21}  # rows per chip
+        return per_density[self.density_gbit] // self.num_banks // 2
+
+    def trr_parameters(self) -> dict:
+        """Implant parameters of this module's TRR version."""
+        version = self.trr_version
+        table = {
+            TrrVersion.A_TRR1: dict(kind="counter", trr_ref_period=9,
+                                    table_size=16, neighbor_radius=2),
+            TrrVersion.A_TRR2: dict(kind="counter", trr_ref_period=9,
+                                    table_size=16, neighbor_radius=1),
+            TrrVersion.B_TRR1: dict(kind="sampling", trr_ref_period=4,
+                                    per_bank=False, sample_period=500),
+            TrrVersion.B_TRR2: dict(kind="sampling", trr_ref_period=9,
+                                    per_bank=False, sample_period=1500),
+            TrrVersion.B_TRR3: dict(kind="sampling", trr_ref_period=2,
+                                    per_bank=True, neighbor_radius=2,
+                                    sample_period=500),
+            TrrVersion.C_TRR1: dict(kind="window", trr_ref_period=17,
+                                    window_acts=2000),
+            TrrVersion.C_TRR2: dict(kind="window", trr_ref_period=9,
+                                    window_acts=2000),
+            TrrVersion.C_TRR3: dict(kind="window", trr_ref_period=8,
+                                    window_acts=1000),
+            TrrVersion.NONE: dict(kind="none"),
+        }
+        return table[version]
+
+    def make_trr(self) -> TrrMechanism:
+        """Instantiate this module's TRR mechanism."""
+        params = dict(self.trr_parameters())
+        kind = params.pop("kind")
+        seed = derive_seed("module-trr", self.module_id)
+        if kind == "counter":
+            return CounterBasedTrr(**params)
+        if kind == "sampling":
+            return SamplingBasedTrr(seed=seed, **params)
+        if kind == "window":
+            return WindowBasedTrr(seed=seed, **params)
+        return NoTrr()
+
+    def device_config(self, rows_per_bank: int | None = None,
+                      row_bits: int = 8192,
+                      weak_cells_per_row_mean: float = 0.12,
+                      vrt_fraction: float = 0.12) -> DeviceConfig:
+        """Build the simulator configuration for this module.
+
+        *rows_per_bank* defaults to the real module's bank size; pass a
+        smaller value (power of two if the mapping scheme needs one) for
+        tractable sweeps.
+        """
+        rows = rows_per_bank or self.nominal_rows_per_bank
+        cycle = min(self.refresh_cycle_refs, rows)
+        return DeviceConfig(
+            name=f"module-{self.module_id}",
+            serial=derive_seed("module-serial", self.module_id),
+            num_banks=self.num_banks,
+            rows_per_bank=rows,
+            row_bits=row_bits,
+            mapping_scheme=self.mapping_scheme,
+            retention=RetentionConfig(
+                weak_cells_per_row_mean=weak_cells_per_row_mean,
+                vrt_fraction=vrt_fraction),
+            disturbance=DisturbanceConfig(
+                hc_first=self.hc_first,
+                paired_coupling=self.paired_rows),
+            refresh_cycle_refs=cycle,
+        )
+
+
+def build_module(spec: ModuleSpec, rows_per_bank: int | None = None,
+                 row_bits: int = 8192, **config_overrides) -> DramChip:
+    """Construct the simulated chip for *spec*, TRR attached and hidden."""
+    config = spec.device_config(rows_per_bank=rows_per_bank,
+                                row_bits=row_bits, **config_overrides)
+    return DramChip(config, spec.make_trr())

@@ -1,0 +1,45 @@
+"""Fixtures for attack tests: eval-scaled module hosts."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.mapping_re import CouplingTopology
+from repro.core.inference import InferredTrrProfile
+from repro.dram import DramChip
+from repro.softmc import SoftMCHost
+from repro.vendors import get_module
+
+
+def scaled_host(module_id: str, hc_divisor: int = 8, rows: int = 4096,
+                cycle: int = 1024) -> tuple:
+    """Build a module at evaluation scale (documented in EXPERIMENTS.md):
+    the refresh cycle and RowHammer thresholds shrink by the same factor,
+    preserving the protection-vs-attack balance."""
+    spec = get_module(module_id)
+    config = spec.device_config(rows_per_bank=rows, row_bits=8192)
+    config = dataclasses.replace(
+        config, refresh_cycle_refs=cycle,
+        disturbance=dataclasses.replace(
+            config.disturbance,
+            hc_first=max(spec.hc_first // hc_divisor, 100)))
+    host = SoftMCHost(DramChip(config, spec.make_trr()))
+    return spec, host
+
+
+def profile_for(spec, cycle: int = 1024) -> InferredTrrProfile:
+    """The TRR profile U-TRR would recover for *spec* (shortcut for
+    attack tests; the inference tests prove recovery works)."""
+    params = spec.trr_parameters()
+    coupling = (CouplingTopology.PAIRED if spec.paired_rows
+                else CouplingTopology.STANDARD)
+    return InferredTrrProfile(
+        mapping_scheme=spec.mapping_scheme, coupling=coupling,
+        regular_refresh_cycle=cycle,
+        trr_ref_period=params["trr_ref_period"],
+        detection=params["kind"],
+        neighbor_distances_refreshed=(1,),
+        neighbors_refreshed=2,
+        persists_without_activity=params["kind"] != "window",
+        aggressor_capacity=params.get("table_size"),
+        per_bank=params.get("per_bank", True))

@@ -1,0 +1,79 @@
+"""Attack executor bookkeeping and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (AttackContext, AttackExecutor,
+                           DoubleSidedPattern, default_context)
+from repro.dram import AllOnes, Checkerboard, DramChip, inverted
+from repro.errors import AttackConfigError
+from repro.softmc import SoftMCHost
+
+
+@pytest.fixture
+def host(small_config):
+    return SoftMCHost(DramChip(small_config))
+
+
+def test_run_counts_refs_and_acts(host):
+    executor = AttackExecutor(host, host._chip.mapping)
+    context = default_context(0, 600, host._chip.mapping, 4,
+                              host.num_banks)
+    result = executor.run(DoubleSidedPattern(), context, windows=3)
+    assert result.pattern == "double-sided"
+    assert result.windows == 3
+    assert result.refs_issued >= 3 * 4
+    assert result.acts_issued > 0
+    assert 600 in result.victim_flips
+
+
+def test_windows_must_be_positive(host):
+    executor = AttackExecutor(host, host._chip.mapping)
+    context = default_context(0, 600, host._chip.mapping, 4,
+                              host.num_banks)
+    with pytest.raises(AttackConfigError):
+        executor.run(DoubleSidedPattern(), context, windows=0)
+
+
+def test_victim_and_aggressor_data_initialized(host):
+    pattern_data = Checkerboard(0)
+    executor = AttackExecutor(host, host._chip.mapping,
+                              victim_pattern=pattern_data)
+    context = default_context(0, 600, host._chip.mapping, 4,
+                              host.num_banks)
+    executor.run(DoubleSidedPattern(), context, windows=1)
+    # The aggressors hold the complement, as required for worst-case
+    # data-dependent coupling (5.2).
+    aggressor_bits = host.read_row(0, 599)
+    expected = inverted(pattern_data, host.row_bits).full(host.row_bits)
+    assert np.array_equal(aggressor_bits, expected)
+
+
+def test_extra_victims_reported(host):
+    executor = AttackExecutor(host, host._chip.mapping)
+    context = default_context(0, 600, host._chip.mapping, 4,
+                              host.num_banks)
+    result = executor.run(DoubleSidedPattern(), context, windows=1,
+                          extra_victims=(602, 604))
+    assert set(result.victim_flips) == {600, 602, 604}
+    assert result.total_flips == sum(
+        len(f) for f in result.victim_flips.values())
+
+
+def test_context_validation(host):
+    mapping = host._chip.mapping
+    with pytest.raises(AttackConfigError):
+        AttackContext(bank=0, victim_physical=999_999, mapping=mapping,
+                      trr_period=4)
+    with pytest.raises(AttackConfigError):
+        AttackContext(bank=0, victim_physical=5, mapping=mapping,
+                      trr_period=0)
+    edge = AttackContext(bank=0, victim_physical=0, mapping=mapping,
+                         trr_period=4)
+    # Edge victims still get two distinct in-range aggressors.
+    low, high = edge.aggressor_pair()
+    assert low != high
+    assert 0 <= low < host.rows_per_bank
+    assert 0 <= high < host.rows_per_bank

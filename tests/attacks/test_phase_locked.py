@@ -1,0 +1,85 @@
+"""Phase-locked sampler diversion (the B_TRR3 attack extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (AttackExecutor, PhaseLockedSamplerPattern,
+                           calibrate_phase_offset, default_context)
+from repro.errors import AttackConfigError
+from .conftest import scaled_host
+
+
+def test_band_delta_geometry():
+    pattern = PhaseLockedSamplerPattern(sample_period=100, offset=40,
+                                        guard=1)
+    # Reserved positions: 40, 41, 42 (offset .. offset + 2*guard).
+    assert pattern._band_delta(40) == 0
+    assert pattern._band_delta(41) == 0
+    assert pattern._band_delta(42) == 0
+    assert pattern._band_delta(43) == 97   # wraps to next band start
+    assert pattern._band_delta(39) == 1
+    assert pattern._band_delta(0) == 40
+
+
+def test_offset_wraps_modulo_period():
+    pattern = PhaseLockedSamplerPattern(sample_period=100, offset=140)
+    assert pattern.offset == 40
+
+
+def test_reserved_positions_receive_dummy_acts():
+    spec, host = scaled_host("B13")
+    mapping = host._chip.mapping
+    context = default_context(0, 2000, mapping, 2, host.num_banks)
+    pattern = PhaseLockedSamplerPattern(sample_period=50, offset=10,
+                                        guard=1)
+    from repro.attacks.session import AttackSession
+    session = AttackSession(host, trr_period=2)
+    dummy_logical = context.dummy_logical_rows()[0]
+    pattern.run_window(session, context)
+    # The dummy row absorbed roughly one guard band per sample period of
+    # the window's activations.
+    acts = host.acts_per_bank[0]
+    dummy_acts = host._chip.banks[0].rows[
+        mapping.to_physical(dummy_logical)]
+    assert acts > 0
+    assert dummy_acts is not None  # dummy row was touched
+
+
+def test_sampler_never_captures_aggressors_when_locked():
+    spec, host = scaled_host("B13")
+    mapping = host._chip.mapping
+    trr = host._chip.trr
+    executor = AttackExecutor(host, mapping)
+    context = default_context(0, 2000, mapping, 2, host.num_banks)
+    # True phase: sample points hit when the per-bank ledger reaches a
+    # multiple of 500; offset accounts for the executor's init writes.
+    offset = 499
+    pattern = PhaseLockedSamplerPattern(500, offset, guard=1)
+    executor.run(pattern, context, windows=64)
+    sampled = trr._bank_samplers[0].row
+    aggressors = {mapping.to_physical(r)
+                  for r in (context.logical(1999), context.logical(2001))}
+    assert sampled is not None
+    assert sampled not in aggressors
+
+
+def test_calibration_raises_for_wrong_period():
+    spec, host = scaled_host("B13")
+    mapping = host._chip.mapping
+    executor = AttackExecutor(host, mapping)
+
+    def factory(victim):
+        return default_context(0, victim, mapping, 2, host.num_banks)
+
+    with pytest.raises(AttackConfigError):
+        # A wildly wrong sample-period estimate never locks.
+        calibrate_phase_offset(executor, factory, 2, 17, windows=16,
+                               canary_victims=[700])
+
+
+def test_configuration_validation():
+    with pytest.raises(AttackConfigError):
+        PhaseLockedSamplerPattern(sample_period=3)
+    with pytest.raises(AttackConfigError):
+        PhaseLockedSamplerPattern(sample_period=10, guard=5)

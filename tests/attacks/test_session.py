@@ -1,0 +1,99 @@
+"""Attack session: budgets, REF pacing, chunk splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.session import AttackSession
+from repro.dram import DramChip, HammerMode
+from repro.errors import AttackConfigError
+from repro.softmc import SoftMCHost
+
+
+@pytest.fixture
+def host(small_config):
+    return SoftMCHost(DramChip(small_config))
+
+
+def test_hammer_splits_across_intervals(host):
+    session = AttackSession(host, trr_period=4)
+    budget = host.hammers_per_ref_interval()
+    session.hammer(0, [(100, 2 * budget + 10)], HammerMode.CASCADED)
+    # Two full intervals were closed with REFs; a partial one remains.
+    assert session.refs_issued == 2
+    assert session.acts_issued == 2 * budget + 10
+    assert session.remaining_ps < host.timing.trefi_ps
+
+
+def test_interleaved_split_keeps_rows_balanced(host):
+    session = AttackSession(host, trr_period=4)
+    session.hammer(0, [(100, 300), (102, 300)], HammerMode.INTERLEAVED)
+    assert session.acts_issued == 600
+    # Each interval's chunk alternates both rows; the chip saw equal
+    # counts overall.
+    counts = host._chip.banks[0].rows  # both aggressors materialized
+    assert 100 in {r for r in counts} and 102 in {r for r in counts}
+
+
+def test_fill_window_aligns_to_period(host):
+    session = AttackSession(host, trr_period=9)
+    session.ref(5)
+    session.fill_window()
+    assert host.ref_count % 9 == 0
+    # Already aligned: no extra REFs.
+    before = host.ref_count
+    session.fill_window()
+    assert host.ref_count == before
+
+
+def test_refs_into_window(host):
+    session = AttackSession(host, trr_period=4)
+    session.ref(6)
+    assert session.refs_into_window() == 2
+
+
+def test_multibank_hammer_under_tfaw(host):
+    session = AttackSession(host, trr_period=4)
+    start = host.now_ps
+    session.hammer_multibank({0: 500, 1: 501, 2: 502, 3: 503}, 100)
+    # 400 acts at tFAW/4 each = 16 us: spans three intervals.
+    assert session.refs_issued >= 2
+    assert session.acts_issued == 400
+    assert host.now_ps > start
+
+
+def test_multibank_rejects_five_banks(host):
+    session = AttackSession(host, trr_period=4)
+    with pytest.raises(AttackConfigError):
+        session.hammer_multibank({b: 10 for b in range(5)}, 5)
+
+
+def test_invalid_period_rejected(host):
+    with pytest.raises(AttackConfigError):
+        AttackSession(host, trr_period=0)
+
+
+def test_take_conserves_total_activations(host):
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(1, 50)),
+                    min_size=1, max_size=4),
+           st.integers(1, 40),
+           st.sampled_from(list(HammerMode)))
+    def check(pairs, fit, mode):
+        if mode is HammerMode.INTERLEAVED:
+            rows = [row for row, _ in pairs]
+            if len(set(rows)) != len(rows):
+                return
+        queue = [[row, count] for row, count in pairs]
+        total_before = sum(count for _, count in queue)
+        chunk = AttackSession._take(queue, fit, mode)
+        taken = sum(count for _, count in chunk)
+        left = sum(count for _, count in queue)
+        assert taken + left == total_before
+        assert taken <= fit or taken == 0
+        assert all(count > 0 for _, count in chunk)
+
+    check()

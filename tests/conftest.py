@@ -1,0 +1,29 @@
+"""Shared fixtures: small, fast chip configurations for unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import DeviceConfig, DisturbanceConfig, DramChip, RetentionConfig
+
+
+@pytest.fixture
+def small_config() -> DeviceConfig:
+    """A tiny chip that keeps per-test runtimes in the milliseconds."""
+    return DeviceConfig(
+        name="unit-test",
+        serial=1,
+        num_banks=4,
+        rows_per_bank=2048,
+        row_bits=1024,
+        refresh_cycle_refs=512,
+        retention=RetentionConfig(weak_cells_per_row_mean=0.3,
+                                  vrt_fraction=0.0),
+        disturbance=DisturbanceConfig(hc_first=10_000),
+    )
+
+
+@pytest.fixture
+def chip(small_config: DeviceConfig) -> DramChip:
+    """A TRR-less chip (pure physics)."""
+    return DramChip(small_config)

@@ -1,0 +1,50 @@
+"""§5.3 mapping reverse engineering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CouplingTopology, discover_row_mapping
+from repro.errors import MappingError
+from .conftest import make_host
+
+
+@pytest.mark.parametrize("scheme", ["direct", "bit_swap_0_1", "xor_1_0",
+                                    "bit_swap_1_2", "xor_2_0"])
+def test_recovers_scramble_scheme(scheme):
+    host = make_host(rows=4096, mapping=scheme, serial=31)
+    discovery = discover_row_mapping(host, probe_count=10)
+    assert discovery.scheme == scheme
+    assert discovery.coupling is CouplingTopology.STANDARD
+
+
+def test_recovers_paired_coupling():
+    host = make_host(rows=4096, paired=True, serial=32)
+    discovery = discover_row_mapping(host, probe_count=10)
+    assert discovery.coupling is CouplingTopology.PAIRED
+    assert discovery.scheme == "direct"
+    # Evidence: every informative probe flipped exactly one row.
+    informative = [e for e in discovery.evidence.values() if e.flipped]
+    assert informative
+    assert all(len(e.flipped) == 1 for e in informative)
+
+
+def test_insufficient_hammering_raises():
+    host = make_host(rows=4096, hc_first=150_000, serial=33)
+    with pytest.raises(MappingError):
+        discover_row_mapping(host, hammer_count=10_000, probe_count=6)
+
+
+def test_strong_module_needs_big_hammer_counts():
+    host = make_host(rows=4096, hc_first=190_000, serial=34)
+    discovery = discover_row_mapping(host)  # default 2.4M activations
+    assert discovery.scheme == "direct"
+
+
+def test_mapping_consistent_with_ground_truth_adjacency():
+    host = make_host(rows=4096, mapping="xor_1_0", serial=35)
+    discovery = discover_row_mapping(host, probe_count=8)
+    truth = host._chip.mapping
+    fitted = discovery.mapping
+    for logical in range(0, 4096, 173):
+        assert fitted.to_physical(logical) == truth.to_physical(logical)

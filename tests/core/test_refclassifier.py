@@ -1,0 +1,83 @@
+"""Refresh-schedule calibration through the retention side channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (ProfilingConfig, RefreshCalibrator, RefreshSchedule,
+                        RowGroupLayout, RowScout)
+from repro.dram import AllOnes
+from repro.trr import CounterBasedTrr, SamplingBasedTrr
+from .conftest import make_host
+
+
+def find_group(host, count=1, layout="R-R"):
+    return RowScout(host).find_groups(ProfilingConfig(
+        bank=0, layout=RowGroupLayout.parse(layout), group_count=count,
+        validation_rounds=4))
+
+
+def test_probe_detects_coverage():
+    host = make_host(rows=4096, cycle=512)
+    group = find_group(host)[0]
+    row = group.logical_rows[0]
+    calibrator = RefreshCalibrator(host, AllOnes())
+    engine = host._chip.refresh_engine
+    slot = engine.slot_of(host._chip.mapping.to_physical(row))
+    # Position just before the row's slot: a burst crossing it survives.
+    distance = (slot - host.ref_count) % 512
+    host.refresh(distance)
+    assert calibrator.probe(0, row, group.retention_ps, burst=4)
+    # Now the slot just passed: a short burst cannot cover it again.
+    assert not calibrator.probe(0, row, group.retention_ps, burst=4)
+
+
+def test_find_cycle_matches_ground_truth():
+    for cycle in (512, 1024):
+        host = make_host(rows=4096, cycle=cycle, serial=21)
+        group = find_group(host)[0]
+        calibrator = RefreshCalibrator(host, AllOnes())
+        measured = calibrator.find_cycle(0, group.logical_rows[0],
+                                         group.retention_ps)
+        assert measured == cycle
+
+
+def test_find_cycle_under_active_trr():
+    # TRR-induced refreshes must not corrupt the measurement.
+    host = make_host(CounterBasedTrr(), rows=4096, cycle=512, serial=3)
+    group = find_group(host)[0]
+    calibrator = RefreshCalibrator(host, AllOnes())
+    assert calibrator.find_cycle(0, group.logical_rows[0],
+                                 group.retention_ps) == 512
+
+
+def test_calibrate_rows_windows_contain_true_slot():
+    host = make_host(SamplingBasedTrr(seed=5), rows=4096, cycle=512)
+    groups = find_group(host, count=2)
+    rows = [(0, r) for g in groups for r in g.logical_rows]
+    calibrator = RefreshCalibrator(host, AllOnes())
+    schedule = calibrator.calibrate_rows(rows, groups[0].retention_ps, 512)
+    engine = host._chip.refresh_engine
+    mapping = host._chip.mapping
+    for bank, row in rows:
+        start, width = schedule.phase_windows[(bank, row)]
+        slot = engine.slot_of(mapping.to_physical(row))
+        assert (slot - start) % 512 < width
+        assert schedule.may_cover(bank, row, slot)
+        assert schedule.may_cover(bank, row, slot + 512)
+        assert not schedule.may_cover(bank, row,
+                                      slot + 256)  # half a cycle away
+
+
+def test_schedule_unknown_rows_are_conservative():
+    schedule = RefreshSchedule(cycle_refs=512)
+    assert schedule.may_cover(0, 1234, 77)  # unknown -> cannot rule out
+
+
+def test_schedule_slack_widens_window():
+    schedule = RefreshSchedule(cycle_refs=512, slack=2)
+    schedule.phase_windows[(0, 5)] = (100, 8)
+    assert schedule.may_cover(0, 5, 98)    # within slack
+    assert schedule.may_cover(0, 5, 109)   # within slack past the window
+    assert not schedule.may_cover(0, 5, 95)
+    assert not schedule.may_cover(0, 5, 112)

@@ -1,0 +1,75 @@
+"""Row-group layout notation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rowgroup import RowGroup, RowGroupLayout
+from repro.dram.mapping import BitSwapMapping, DirectMapping
+from repro.dram.patterns import AllOnes
+from repro.errors import ConfigError
+from repro.units import ms
+
+
+def test_parse_r_gap_r():
+    layout = RowGroupLayout.parse("R-R")
+    assert layout.profiled_offsets == (0, 2)
+    assert layout.gap_offsets == (1,)
+    assert layout.span == 3
+
+
+def test_parse_rrr_gap_rrr():
+    layout = RowGroupLayout.parse("RRR-RRR")
+    assert layout.profiled_offsets == (0, 1, 2, 4, 5, 6)
+    assert layout.gap_offsets == (3,)
+
+
+def test_parse_single_r():
+    layout = RowGroupLayout.parse("R")
+    assert layout.profiled_offsets == (0,)
+    assert layout.gap_offsets == ()
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "RXR", "-R", "R-", "--"):
+        with pytest.raises(ConfigError):
+            RowGroupLayout.parse(bad)
+
+
+def make_group(base=100, layout="R-R", retention_ms=150.0, lo_ms=100.0):
+    parsed = RowGroupLayout.parse(layout)
+    return RowGroup(bank=0, base_physical=base, layout=parsed,
+                    logical_rows=tuple(base + off
+                                       for off in parsed.profiled_offsets),
+                    retention_ps=ms(retention_ms),
+                    retention_lo_ps=ms(lo_ms), pattern=AllOnes())
+
+
+def test_placed_group_rows():
+    group = make_group(base=100)
+    assert group.physical_rows == (100, 102)
+    assert group.gap_physical_rows == (101,)
+
+
+def test_gap_logical_rows_translate_through_mapping():
+    group = make_group(base=100)
+    mapping = BitSwapMapping(1024, 0, 1)
+    assert group.gap_logical_rows(mapping) == (mapping.to_logical(101),)
+    assert group.gap_logical_rows(DirectMapping(1024)) == (101,)
+
+
+def test_group_validation():
+    parsed = RowGroupLayout.parse("R-R")
+    with pytest.raises(ConfigError):
+        RowGroup(bank=0, base_physical=0, layout=parsed,
+                 logical_rows=(0,), retention_ps=ms(100),
+                 retention_lo_ps=ms(50), pattern=AllOnes())
+    with pytest.raises(ConfigError):
+        RowGroup(bank=0, base_physical=0, layout=parsed,
+                 logical_rows=(0, 2), retention_ps=ms(100),
+                 retention_lo_ps=ms(100), pattern=AllOnes())
+
+
+def test_row_pairs():
+    group = make_group(base=10)
+    assert group.row_pairs() == [(10, 10), (12, 12)]

@@ -1,0 +1,120 @@
+"""Row Scout: bucket discovery, layout placement, VRT rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProfilingConfig, RowScout, RowGroupLayout
+from repro.dram import AllOnes
+from repro.errors import ConfigError, ProfilingError
+from .conftest import make_host
+
+
+def scout_config(**overrides):
+    defaults = dict(bank=0, layout=RowGroupLayout.parse("R-R"),
+                    group_count=2, validation_rounds=4)
+    defaults.update(overrides)
+    return ProfilingConfig(**defaults)
+
+
+def test_groups_match_layout_and_share_bucket():
+    host = make_host(rows=4096)
+    groups = RowScout(host).find_groups(scout_config())
+    assert len(groups) == 2
+    retention = {g.retention_ps for g in groups}
+    assert len(retention) == 1
+    for group in groups:
+        assert group.physical_rows == (group.base_physical,
+                                       group.base_physical + 2)
+        assert group.retention_lo_ps * 2 >= group.retention_ps
+
+
+def test_groups_respect_spacing():
+    host = make_host(rows=4096)
+    groups = RowScout(host).find_groups(
+        scout_config(group_count=3, group_spacing=8))
+    spans = sorted((g.base_physical, g.base_physical + g.layout.span)
+                   for g in groups)
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+        assert start_b - end_a >= 8
+
+
+def test_found_rows_truly_fail_in_bucket():
+    host = make_host(rows=4096)
+    groups = RowScout(host).find_groups(scout_config())
+    chip = host._chip
+    for group in groups:
+        for logical in group.logical_rows:
+            truth = chip.true_retention_ps(0, logical, AllOnes())
+            assert group.retention_lo_ps < truth <= group.retention_ps
+
+
+def test_vrt_rows_rejected_with_enough_validation():
+    host = make_host(rows=4096, vrt_fraction=0.5, serial=13)
+    groups = RowScout(host).find_groups(
+        scout_config(validation_rounds=40, group_count=2))
+    # Ground truth check: no returned row's bucket-critical weak cell is
+    # VRT (its retention would wander out of the bucket).
+    chip = host._chip
+    for group in groups:
+        for logical, physical in group.row_pairs():
+            bank = chip.banks[0]
+            state = bank.state(physical)
+            profile = bank._retention(physical, state)
+            exposed = profile.polarity == AllOnes().bits_at(profile.positions)
+            critical = (profile.base_retention_ps <= group.retention_ps) \
+                & exposed
+            assert not (critical & profile.is_vrt).any()
+
+
+def test_row_range_respected():
+    host = make_host(rows=4096)
+    groups = RowScout(host).find_groups(
+        scout_config(row_range=(1000, 3000), group_count=1))
+    group = groups[0]
+    assert 1000 <= group.base_physical < 3000
+
+
+def test_profiling_error_when_impossible():
+    # A chip with no weak cells can never satisfy the profiler.
+    host = make_host(rows=1024, weak_mean=0.0)
+    with pytest.raises(ProfilingError):
+        RowScout(host).find_groups(scout_config(group_count=1,
+                                                max_t_ms=400.0))
+
+
+def test_joint_multibank_shares_bucket():
+    host = make_host(rows=4096)
+    scout = RowScout(host)
+    results = scout.find_groups_joint([
+        scout_config(bank=0, group_count=1),
+        scout_config(bank=1, group_count=1),
+    ])
+    assert len(results) == 2
+    assert results[0][0].bank == 0
+    assert results[1][0].bank == 1
+    assert results[0][0].retention_ps == results[1][0].retention_ps
+
+
+def test_joint_requires_identical_escalation():
+    host = make_host(rows=1024)
+    scout = RowScout(host)
+    with pytest.raises(ConfigError):
+        scout.find_groups_joint([
+            scout_config(bank=0, initial_t_ms=100.0),
+            scout_config(bank=1, initial_t_ms=200.0),
+        ])
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        scout_config(group_count=0)
+    with pytest.raises(ConfigError):
+        scout_config(growth=2.5)  # breaks footnote 4
+    with pytest.raises(ConfigError):
+        scout_config(initial_t_ms=0)
+    with pytest.raises(ConfigError):
+        scout_config(validation_rounds=0)
+    host = make_host(rows=1024)
+    with pytest.raises(ConfigError):
+        RowScout(host).find_groups(scout_config(row_range=(500, 5000)))

@@ -1,0 +1,94 @@
+"""JSON round-tripping of measurement artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (InferredTrrProfile, RefreshSchedule, RowGroup,
+                        RowGroupLayout)
+from repro.core.mapping_re import CouplingTopology
+from repro.core.serialization import (load_measurement, pattern_from_dict,
+                                      pattern_to_dict, profile_from_dict,
+                                      profile_to_dict, row_group_from_dict,
+                                      row_group_to_dict, save_measurement,
+                                      schedule_from_dict, schedule_to_dict)
+from repro.dram import AllOnes, ByteFill, Checkerboard, CustomPattern
+from repro.errors import ConfigError
+from repro.units import ms
+
+
+def sample_group(base=100):
+    layout = RowGroupLayout.parse("R-R")
+    return RowGroup(bank=0, base_physical=base, layout=layout,
+                    logical_rows=(base, base + 2),
+                    retention_ps=ms(150), retention_lo_ps=ms(100),
+                    pattern=AllOnes())
+
+
+def sample_schedule():
+    schedule = RefreshSchedule(cycle_refs=1024, slack=3)
+    schedule.phase_windows[(0, 100)] = (17, 8)
+    schedule.phase_windows[(1, 200)] = (900, 8)
+    return schedule
+
+
+def sample_profile():
+    return InferredTrrProfile(
+        mapping_scheme="bit_swap_0_1",
+        coupling=CouplingTopology.PAIRED,
+        regular_refresh_cycle=3758,
+        trr_ref_period=9, detection="counter",
+        neighbor_distances_refreshed=(1, 2), neighbors_refreshed=4,
+        persists_without_activity=True, aggressor_capacity=16,
+        per_bank=True)
+
+
+def test_pattern_roundtrip():
+    for pattern in (AllOnes(), Checkerboard(1), ByteFill(0xA5)):
+        assert pattern_from_dict(pattern_to_dict(pattern)) == pattern
+    with pytest.raises(ConfigError):
+        pattern_to_dict(CustomPattern([1, 0, 1]))
+    with pytest.raises(ConfigError):
+        pattern_from_dict({"name": "nope"})
+
+
+def test_row_group_roundtrip():
+    group = sample_group()
+    restored = row_group_from_dict(row_group_to_dict(group))
+    assert restored == group
+
+
+def test_schedule_roundtrip_preserves_classification():
+    schedule = sample_schedule()
+    restored = schedule_from_dict(schedule_to_dict(schedule))
+    assert restored.cycle_refs == schedule.cycle_refs
+    assert restored.slack == schedule.slack
+    for key in schedule.phase_windows:
+        bank, row = key
+        for index in (17, 20, 27, 500):
+            assert (restored.may_cover(bank, row, index)
+                    == schedule.may_cover(bank, row, index))
+
+
+def test_profile_roundtrip():
+    profile = sample_profile()
+    restored = profile_from_dict(profile_to_dict(profile))
+    assert restored == profile
+    assert restored.summary() == profile.summary()
+
+
+def test_measurement_bundle_roundtrip(tmp_path):
+    path = tmp_path / "module.json"
+    groups = [sample_group(100), sample_group(300)]
+    save_measurement(path, groups, sample_schedule(), sample_profile())
+    loaded_groups, schedule, profile = load_measurement(path)
+    assert loaded_groups == groups
+    assert profile == sample_profile()
+    assert schedule.phase_windows[(0, 100)] == (17, 8)
+
+
+def test_bundle_without_profile(tmp_path):
+    path = tmp_path / "bare.json"
+    save_measurement(path, [sample_group()], sample_schedule())
+    _, _, profile = load_measurement(path)
+    assert profile is None

@@ -1,0 +1,158 @@
+"""TRR Analyzer: the Fig. 7 experiment engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (AggressorHammer, ExperimentConfig, ProfilingConfig,
+                        RefreshCalibrator, RowGroupLayout, RowScout,
+                        TrrAnalyzer)
+from repro.dram import AllOnes, HammerMode
+from repro.errors import ConfigError
+from repro.trr import CounterBasedTrr
+from repro.units import ms
+from .conftest import make_host
+
+
+def build(host, group_count=2, calibrate=True):
+    groups = RowScout(host).find_groups(ProfilingConfig(
+        bank=0, layout=RowGroupLayout.parse("R-R"),
+        group_count=group_count, validation_rounds=4))
+    schedule = None
+    if calibrate:
+        calibrator = RefreshCalibrator(host, AllOnes())
+        cycle = calibrator.find_cycle(0, groups[0].logical_rows[0],
+                                      groups[0].retention_ps)
+        rows = [(0, r) for g in groups for r in g.logical_rows]
+        schedule = calibrator.calibrate_rows(rows, groups[0].retention_ps,
+                                             cycle)
+    return groups, TrrAnalyzer(host, groups, schedule)
+
+
+def gap_aggressor(groups, analyzer, index=0, count=5000):
+    logical = groups[index].gap_logical_rows(analyzer._mapping)[0]
+    return AggressorHammer(bank=0, logical_row=logical, count=count)
+
+
+def test_no_trr_chip_always_flips():
+    host = make_host(trr=None, rows=4096, cycle=512)
+    groups, analyzer = build(host)
+    aggressor = gap_aggressor(groups, analyzer)
+    result = analyzer.run(ExperimentConfig(aggressors=(aggressor,),
+                                           refs_per_round=1))
+    assert all(obs.flipped for obs in result.observations)
+    assert result.trr_refreshed_physical(0) == set()
+
+
+def test_counter_trr_refresh_detected_and_attributed():
+    host = make_host(CounterBasedTrr(), rows=4096, cycle=512)
+    groups, analyzer = build(host)
+    aggressor = gap_aggressor(groups, analyzer)
+    # Enough REFs for a TRR-capable one (period 9) regardless of phase.
+    result = analyzer.run(ExperimentConfig(aggressors=(aggressor,),
+                                           refs_per_round=20))
+    hit = result.trr_refreshed_physical(0)
+    assert groups[0].physical_rows[0] in hit
+    assert groups[0].physical_rows[1] in hit
+    # The untouched second group flips (decays normally).
+    assert set(groups[1].physical_rows) <= result.flipped_physical(0)
+
+
+def test_align_refs_makes_experiments_conclusive():
+    host = make_host(CounterBasedTrr(), rows=4096, cycle=512)
+    groups, analyzer = build(host)
+    aggressor = gap_aggressor(groups, analyzer)
+    for _ in range(6):
+        result = analyzer.run(ExperimentConfig(
+            aggressors=(aggressor,), refs_per_round=20, align_refs=True))
+        assert not result.any_inconclusive
+
+
+def test_ref_indices_recorded_consecutively():
+    host = make_host(trr=None, rows=4096, cycle=512)
+    groups, analyzer = build(host)
+    result = analyzer.run(ExperimentConfig(rounds=3, refs_per_round=2,
+                                           align_refs=False,
+                                           reset_state=False))
+    assert len(result.ref_indices) == 6
+    diffs = [b - a for a, b in zip(result.ref_indices,
+                                   result.ref_indices[1:])]
+    assert diffs == [1] * 5
+
+
+def test_dummy_rows_keep_clearance():
+    host = make_host(CounterBasedTrr(), rows=4096, cycle=512)
+    groups, analyzer = build(host)
+    aggressor = gap_aggressor(groups, analyzer)
+    config = ExperimentConfig(aggressors=(aggressor,), dummy_row_count=8,
+                              dummy_hammers=32, refs_per_round=2)
+    result = analyzer.run(config)
+    protected = {r for g in groups for r in g.logical_rows}
+    protected.add(aggressor.logical_row)
+    for bank, rows in result.dummy_rows.items():
+        assert len(rows) == 8
+        for dummy in rows:
+            assert all(abs(dummy - p) >= TrrAnalyzer.DUMMY_CLEARANCE
+                       for p in protected)
+
+
+def test_reset_state_flushes_counter_table():
+    trr = CounterBasedTrr()
+    host = make_host(trr, rows=4096, cycle=512)
+    groups, analyzer = build(host, calibrate=False)
+    # Plant an aggressor in the table.
+    host.hammer_single(0, groups[0].gap_logical_rows(analyzer._mapping)[0],
+                       5000)
+    planted = groups[0].gap_physical_rows[0]
+    assert any(e.row == planted for e in trr._tables[0].entries)
+    analyzer.reset_trr_state()
+    assert not any(e.row == planted for e in trr._tables[0].entries)
+
+
+def test_verify_hammer_count_harmless():
+    host = make_host(trr=None, rows=4096, cycle=512, hc_first=4000)
+    groups, analyzer = build(host, calibrate=False)
+    safe = ExperimentConfig(aggressors=(gap_aggressor(groups, analyzer,
+                                                      count=500),))
+    assert analyzer.verify_hammer_count_harmless(safe)
+    harmful = ExperimentConfig(
+        aggressors=(gap_aggressor(groups, analyzer, count=200_000),))
+    assert not analyzer.verify_hammer_count_harmless(harmful)
+
+
+def test_mixed_retention_buckets_rejected():
+    host = make_host(rows=4096, cycle=512)
+    groups, _ = build(host, calibrate=False)
+    import dataclasses
+    other = dataclasses.replace(groups[1],
+                                retention_ps=groups[1].retention_ps * 2,
+                                retention_lo_ps=groups[1].retention_ps)
+    with pytest.raises(ConfigError):
+        TrrAnalyzer(host, [groups[0], other])
+
+
+def test_wide_bucket_rejected():
+    host = make_host(rows=4096, cycle=512)
+    groups, _ = build(host, calibrate=False)
+    import dataclasses
+    bad = dataclasses.replace(groups[0],
+                              retention_lo_ps=groups[0].retention_ps // 3)
+    with pytest.raises(ConfigError):
+        TrrAnalyzer(host, [bad])
+
+
+def test_experiment_config_validation():
+    with pytest.raises(ConfigError):
+        ExperimentConfig(rounds=0)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(refs_per_round=-1)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(dummy_row_count=-1)
+    with pytest.raises(ConfigError):
+        AggressorHammer(bank=0, logical_row=1, count=-5)
+
+
+def test_analyzer_requires_groups():
+    host = make_host(rows=1024)
+    with pytest.raises(ConfigError):
+        TrrAnalyzer(host, [])

@@ -1,0 +1,186 @@
+"""Bank fault physics: settle-on-observe, recharge, sparse faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.commands import ActBatch, HammerMode
+from repro.dram.disturbance import DisturbanceConfig
+from repro.dram.patterns import AllOnes, AllZeros
+from repro.dram.refresh import RefreshEngine
+from repro.dram.retention import RetentionConfig
+from repro.errors import ConfigError
+from repro.rng import SeedSequenceFactory
+from repro.units import ms
+
+BIG = np.iinfo(np.int64).max
+
+
+def make_bank(retention=None, disturbance=None, num_rows=2048,
+              row_bits=1024, cycle=256, serial=0):
+    engine = RefreshEngine(num_rows, cycle)
+    bank = Bank(0, num_rows, row_bits,
+                retention or RetentionConfig(weak_cells_per_row_mean=0.4,
+                                             vrt_fraction=0.0),
+                disturbance or DisturbanceConfig(hc_first=5_000),
+                SeedSequenceFactory("bank-test", serial), engine)
+    return bank, engine
+
+
+def find_weak_row(bank, pattern=AllOnes(), limit=2048, max_ms=5000):
+    for row in range(limit):
+        retention = bank.true_retention_ps(row, pattern)
+        if retention < ms(max_ms):
+            return row, retention
+    raise AssertionError("no weak row found")
+
+
+def test_write_read_roundtrip():
+    bank, _ = make_bank()
+    bank.write(10, AllOnes(), now_ps=0)
+    bits = bank.read(10, now_ps=1)
+    assert bits.sum() == bank.row_bits
+
+
+def test_retention_decay_exactly_at_threshold():
+    bank, _ = make_bank()
+    row, retention = find_weak_row(bank)
+    bank.write(row, AllOnes(), now_ps=0)
+    assert bank.read_mismatches(row, now_ps=retention - 1) == []
+    bank.write(row, AllOnes(), now_ps=retention)
+    assert bank.read_mismatches(row, now_ps=2 * retention) != []
+
+
+def test_read_recharges_row():
+    bank, _ = make_bank()
+    row, retention = find_weak_row(bank)
+    bank.write(row, AllOnes(), now_ps=0)
+    half = retention // 2
+    assert bank.read_mismatches(row, now_ps=half) == []
+    # The read at `half` restored charge: surviving another `half+1` only
+    # fails if elapsed-since-read exceeds retention.
+    assert bank.read_mismatches(row, now_ps=half + retention - 1) == []
+    assert bank.read_mismatches(row, now_ps=2 * half + 2 * retention) != []
+
+
+def test_refresh_after_decay_preserves_decayed_value():
+    bank, _ = make_bank()
+    row, retention = find_weak_row(bank)
+    bank.write(row, AllOnes(), now_ps=0)
+    # Let the row decay past its retention, then refresh it: the refresh
+    # must restore the *decayed* data (footnote 4 of the paper).
+    bank.refresh_rows([row], now_ps=retention + 1)
+    mismatches = bank.read_mismatches(row, now_ps=retention + 2)
+    assert mismatches != []
+
+
+def test_refresh_before_decay_prevents_failure():
+    bank, _ = make_bank()
+    row, retention = find_weak_row(bank)
+    bank.write(row, AllOnes(), now_ps=0)
+    bank.refresh_rows([row], now_ps=retention // 2)
+    assert bank.read_mismatches(row, now_ps=retention + retention // 4) == []
+
+
+def test_hammer_disturbance_accumulates_and_flips():
+    bank, _ = make_bank()
+    victim = 300
+    threshold = bank.true_min_hammer_threshold(victim, AllOnes())
+    bank.write(victim, AllOnes(), now_ps=0)
+    per_side = int(threshold / 2) + 1
+    batch = ActBatch(bank=0, pattern=((victim - 1, per_side),
+                                      (victim + 1, per_side)),
+                     mode=HammerMode.INTERLEAVED)
+    bank.absorb_hammering(batch, now_ps=1000)
+    assert bank.read_mismatches(victim, now_ps=2000) != []
+
+
+def test_victim_refresh_resets_disturbance():
+    bank, _ = make_bank()
+    victim = 300
+    threshold = bank.true_min_hammer_threshold(victim, AllOnes())
+    bank.write(victim, AllOnes(), now_ps=0)
+    per_side = int(threshold / 2 * 0.7)
+    batch = ActBatch(bank=0, pattern=((victim - 1, per_side),
+                                      (victim + 1, per_side)),
+                     mode=HammerMode.INTERLEAVED)
+    bank.absorb_hammering(batch, now_ps=100)
+    bank.refresh_rows([victim], now_ps=200)  # TRR-style victim refresh
+    bank.absorb_hammering(batch, now_ps=300)
+    # Neither burst alone crosses the threshold.
+    assert bank.read_mismatches(victim, now_ps=400) == []
+
+
+def test_unrefreshed_victim_accumulates_across_bursts():
+    bank, _ = make_bank()
+    victim = 300
+    threshold = bank.true_min_hammer_threshold(victim, AllOnes())
+    bank.write(victim, AllOnes(), now_ps=0)
+    per_side = int(threshold / 2 * 0.7)
+    batch = ActBatch(bank=0, pattern=((victim - 1, per_side),
+                                      (victim + 1, per_side)),
+                     mode=HammerMode.INTERLEAVED)
+    bank.absorb_hammering(batch, now_ps=100)
+    bank.absorb_hammering(batch, now_ps=300)
+    assert bank.read_mismatches(victim, now_ps=400) != []
+
+
+def test_aggressor_is_recharged_not_disturbed():
+    bank, _ = make_bank()
+    row, retention = find_weak_row(bank)
+    bank.write(row, AllOnes(), now_ps=0)
+    # Hammering the weak row itself keeps recharging it.
+    batch = ActBatch(bank=0, pattern=((row, 10),))
+    bank.absorb_hammering(batch, now_ps=retention - 1)
+    assert bank.read_mismatches(row, now_ps=2 * retention - 2) == []
+
+
+def test_regular_refresh_slot_covers_tracked_rows():
+    bank, engine = make_bank()
+    row, retention = find_weak_row(bank)
+    bank.write(row, AllOnes(), now_ps=0)
+    slot = engine.slot_of(row)
+    bank.regular_refresh(slot, now_ps=retention - 1)
+    assert bank.read_mismatches(row, now_ps=2 * retention - 2) == []
+
+
+def test_lazy_materialization_uses_engine_epoch():
+    bank, engine = make_bank()
+    # Run the engine for a while before ever touching the row.
+    target_time = 123456789
+    for i in range(engine.cycle_refs):
+        engine.on_ref(target_time + i)
+    row = 100
+    state = bank.state(row)
+    assert state.last_recharge_ps == target_time + engine.slot_of(row)
+
+
+def test_write_clears_prior_faults():
+    bank, _ = make_bank()
+    row, retention = find_weak_row(bank)
+    bank.write(row, AllOnes(), now_ps=0)
+    assert bank.read_mismatches(row, now_ps=2 * retention) != []
+    bank.write(row, AllOnes(), now_ps=3 * retention)
+    assert bank.read_mismatches(row, now_ps=3 * retention + 10) == []
+
+
+def test_mismatches_only_against_current_pattern():
+    bank, _ = make_bank()
+    row, retention = find_weak_row(bank, AllOnes())
+    # Store the complement pattern: the weak cell's polarity may not be
+    # exposed, so flips differ between patterns.
+    bank.write(row, AllZeros(), now_ps=0)
+    zeros_flips = bank.read_mismatches(row, now_ps=2 * retention)
+    bank.write(row, AllOnes(), now_ps=4 * retention)
+    ones_flips = bank.read_mismatches(row, now_ps=6 * retention)
+    assert ones_flips != [] or zeros_flips != []
+
+
+def test_out_of_range_rows_rejected():
+    bank, _ = make_bank()
+    with pytest.raises(ConfigError):
+        bank.state(5000)
+    with pytest.raises(ConfigError):
+        bank.absorb_hammering(ActBatch(bank=0, pattern=((5000, 10),)), 0)

@@ -1,0 +1,71 @@
+"""Raw command primitives (the DdrBus substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import AllOnes, Checkerboard, DramChip
+from repro.trr import CounterBasedTrr
+from repro.units import ms
+
+
+@pytest.fixture
+def chip(small_config):
+    return DramChip(small_config, CounterBasedTrr())
+
+
+def test_raw_ops_do_not_advance_the_clock(chip):
+    start = chip.now_ps
+    chip.raw_activate(0, 100)
+    chip.raw_write(0, 100, AllOnes())
+    chip.raw_read(0, 100)
+    chip.raw_refresh()
+    assert chip.now_ps == start
+
+
+def test_raw_write_read_roundtrip(chip):
+    chip.raw_activate(0, 7)
+    chip.raw_write(0, 7, Checkerboard(1))
+    bits = chip.raw_read(0, 7)
+    assert np.array_equal(bits, Checkerboard(1).full(chip.config.row_bits))
+
+
+def test_raw_activate_recharges_and_feeds_trr(chip):
+    # Recharge: activation resets the retention clock.
+    weak = next(row for row in range(chip.config.rows_per_bank)
+                if chip.true_retention_ps(0, row, AllOnes()) < ms(3000))
+    retention = chip.true_retention_ps(0, weak, AllOnes())
+    chip.raw_activate(0, weak)
+    chip.raw_write(0, weak, AllOnes())
+    chip.wait(retention // 2)
+    chip.raw_activate(0, weak)  # recharge mid-way
+    chip.wait(retention - retention // 4)
+    chip.raw_activate(0, weak)
+    assert int(chip.raw_read(0, weak).sum()) == chip.config.row_bits
+    # TRR ingestion: enough raw ACTs insert the row into the table.
+    for _ in range(10):
+        chip.raw_activate(0, 500)
+    table = chip.trr._tables[0]
+    assert any(entry.row == chip.mapping.to_physical(500)
+               for entry in table.entries)
+
+
+def test_raw_refresh_advances_regular_slots(chip):
+    cycle = chip.config.refresh_cycle_refs
+    before = chip.refresh_engine.total_refs
+    for _ in range(cycle):
+        chip.raw_refresh()
+    assert chip.refresh_engine.total_refs == before + cycle
+    assert chip.stats.refreshes == cycle
+
+
+def test_raw_refresh_triggers_trr(chip):
+    chip.raw_activate(0, 100)
+    for _ in range(9):
+        chip.raw_activate(0, 300)
+    # Insert a trackable aggressor, then enough REFs for a capable one.
+    before = chip.stats.trr_refreshes
+    for _ in range(20):
+        chip.raw_refresh()
+    assert chip.stats.trr_refreshes > before

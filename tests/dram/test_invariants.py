@@ -1,0 +1,120 @@
+"""Chip-level invariants under arbitrary operation sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import (ActBatch, AllOnes, Checkerboard, DeviceConfig,
+                        DisturbanceConfig, DramChip, HammerMode,
+                        RetentionConfig)
+from repro.trr import CounterBasedTrr
+from repro.units import ms
+
+CONFIG = DeviceConfig(
+    name="invariant-test", serial=5, num_banks=2, rows_per_bank=512,
+    row_bits=256, refresh_cycle_refs=128,
+    retention=RetentionConfig(weak_cells_per_row_mean=1.0,
+                              vrt_fraction=0.0),
+    disturbance=DisturbanceConfig(hc_first=2_000))
+
+
+def operation_strategy():
+    row = st.integers(0, 511)
+    return st.one_of(
+        st.tuples(st.just("write"), row),
+        st.tuples(st.just("read"), row),
+        st.tuples(st.just("hammer"), row, st.integers(1, 400)),
+        st.tuples(st.just("wait"), st.integers(1, 200)),   # milliseconds
+        st.tuples(st.just("refresh"), st.integers(1, 64)),
+    )
+
+
+def apply(chip: DramChip, op) -> None:
+    kind = op[0]
+    if kind == "write":
+        chip.write_row(0, op[1], AllOnes())
+    elif kind == "read":
+        chip.read_row(0, op[1])
+    elif kind == "hammer":
+        chip.hammer(ActBatch(bank=0, pattern=((op[1], op[2]),)))
+    elif kind == "wait":
+        chip.wait(ms(op[1]))
+    else:
+        chip.refresh(op[1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(operation_strategy(), max_size=25))
+def test_clock_is_monotone_and_reads_are_wellformed(operations):
+    chip = DramChip(CONFIG, CounterBasedTrr())
+    last = chip.now_ps
+    for op in operations:
+        apply(chip, op)
+        assert chip.now_ps >= last
+        last = chip.now_ps
+    mismatches = chip.read_row_mismatches(0, 100)
+    assert mismatches == sorted(set(mismatches))
+    assert all(0 <= p < CONFIG.row_bits for p in mismatches)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(operation_strategy(), max_size=20))
+def test_same_serial_chips_replay_identically(operations):
+    chips = [DramChip(CONFIG, CounterBasedTrr()) for _ in range(2)]
+    for op in operations:
+        for chip in chips:
+            apply(chip, op)
+    for row in (0, 100, 101, 255):
+        a = chips[0].read_row(0, row)
+        b = chips[1].read_row(0, row)
+        assert np.array_equal(a, b)
+    assert chips[0].now_ps == chips[1].now_ps
+    assert chips[0].stats.snapshot() == chips[1].stats.snapshot()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(operation_strategy(), max_size=15), st.integers(0, 511))
+def test_write_then_immediate_read_is_clean(operations, row):
+    chip = DramChip(CONFIG)
+    for op in operations:
+        apply(chip, op)
+    chip.write_row(0, row, Checkerboard(0))
+    assert chip.read_row_mismatches(0, row) == []
+    bits = chip.read_row(0, row)
+    assert np.array_equal(bits, Checkerboard(0).full(CONFIG.row_bits))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(100, 2_000), st.integers(2, 6))
+def test_more_frequent_refresh_never_hurts_retention(wait_ms, splits):
+    def flips_with_refresh_splits(parts: int) -> int:
+        chip = DramChip(CONFIG)
+        total = 0
+        for row in range(0, 512, 37):
+            chip.write_row(0, row, AllOnes())
+        for _ in range(parts):
+            chip.wait(ms(wait_ms) // parts)
+            chip.refresh(CONFIG.refresh_cycle_refs)  # full pass
+        for row in range(0, 512, 37):
+            total += len(chip.read_row_mismatches(0, row))
+        return total
+
+    assert flips_with_refresh_splits(splits) <= flips_with_refresh_splits(1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(500, 4_000), st.integers(1, 3))
+def test_hammer_damage_is_monotone_in_count(base_count, factor):
+    def flips(count: int) -> int:
+        chip = DramChip(CONFIG)
+        victim = 300
+        chip.write_row(0, victim, AllOnes())
+        chip.hammer(ActBatch(bank=0, pattern=((victim - 1, count),
+                                              (victim + 1, count)),
+                             mode=HammerMode.INTERLEAVED))
+        return len(chip.read_row_mismatches(0, victim))
+
+    assert flips(base_count * factor + base_count) >= flips(base_count)

@@ -1,0 +1,79 @@
+"""Logical/physical row mapping schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.mapping import (BitSwapMapping, DirectMapping,
+                                XorScrambleMapping, available_schemes,
+                                make_mapping)
+from repro.errors import ConfigError, MappingError
+
+N = 1024
+
+
+@pytest.fixture(params=available_schemes())
+def mapping(request):
+    return make_mapping(request.param, N)
+
+
+@given(st.integers(0, N - 1))
+def test_all_schemes_are_bijections(logical):
+    for scheme in available_schemes():
+        m = make_mapping(scheme, N)
+        physical = m.to_physical(logical)
+        assert 0 <= physical < N
+        assert m.to_logical(physical) == logical
+
+
+def test_direct_is_identity():
+    m = DirectMapping(N)
+    assert [m.to_physical(r) for r in range(8)] == list(range(8))
+
+
+def test_bit_swap_swaps_bits():
+    m = BitSwapMapping(N, 0, 1)
+    assert m.to_physical(0b01) == 0b10
+    assert m.to_physical(0b10) == 0b01
+    assert m.to_physical(0b11) == 0b11
+    assert m.to_physical(0b00) == 0b00
+
+
+def test_xor_scramble_folds_source_into_target():
+    m = XorScrambleMapping(N, source_bit=1, target_bit=0)
+    assert m.to_physical(0b10) == 0b11
+    assert m.to_physical(0b11) == 0b10
+    assert m.to_physical(0b01) == 0b01
+
+
+def test_physical_neighbors_clip_at_edges(mapping):
+    assert mapping.physical_neighbors(0, 1) == [1]
+    assert mapping.physical_neighbors(N - 1, 1) == [N - 2]
+    assert mapping.physical_neighbors(10, 2) == [8, 12]
+
+
+def test_logical_neighbors_translate_back():
+    m = BitSwapMapping(N, 0, 1)
+    logical = 4  # physical 4; physical neighbors 3, 5 -> logical?
+    neighbors = m.logical_neighbors(logical, 1)
+    assert sorted(m.to_physical(x) for x in neighbors) == [3, 5]
+
+
+def test_out_of_range_rejected(mapping):
+    with pytest.raises(MappingError):
+        mapping.to_physical(N)
+    with pytest.raises(MappingError):
+        mapping.to_logical(-1)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        make_mapping("nope", N)
+    with pytest.raises(ConfigError):
+        BitSwapMapping(1000, 0, 1)  # not a power of two
+    with pytest.raises(ConfigError):
+        XorScrambleMapping(N, 2, 2)  # same bit
+    with pytest.raises(ConfigError):
+        DirectMapping(0)

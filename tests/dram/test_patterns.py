@@ -1,0 +1,76 @@
+"""Row data patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.patterns import (AllOnes, AllZeros, ByteFill, Checkerboard,
+                                 CustomPattern, inverted)
+from repro.errors import ConfigError
+
+ALL_PATTERNS = [AllOnes(), AllZeros(), Checkerboard(0), Checkerboard(1),
+                ByteFill(0x55), ByteFill(0xA3)]
+
+
+@pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: repr(p))
+def test_bits_at_consistent_with_full(pattern):
+    positions = np.array([0, 1, 7, 8, 9, 63, 64, 100], dtype=np.int64)
+    full = pattern.full(128)
+    assert np.array_equal(pattern.bits_at(positions), full[positions])
+
+
+def test_all_ones_and_zeros():
+    assert AllOnes().full(64).sum() == 64
+    assert AllZeros().full(64).sum() == 0
+
+
+def test_checkerboard_phases_are_complementary():
+    a = Checkerboard(0).full(64)
+    b = Checkerboard(1).full(64)
+    assert np.array_equal(a ^ b, np.ones(64, dtype=np.uint8))
+
+
+def test_byte_fill_bit_order_is_lsb_first():
+    bits = ByteFill(0x01).full(16)
+    assert bits[0] == 1 and bits[8] == 1
+    assert bits[1:8].sum() == 0
+
+
+@given(st.integers(0, 255))
+def test_byte_fill_reconstructs_value(value):
+    bits = ByteFill(value).full(8)
+    assert sum(int(b) << i for i, b in enumerate(bits)) == value
+
+
+def test_custom_pattern_roundtrip_and_validation():
+    bits = np.array([1, 0, 1, 1], dtype=np.uint8)
+    pattern = CustomPattern(bits)
+    assert np.array_equal(pattern.full(4), bits)
+    with pytest.raises(ConfigError):
+        pattern.full(8)  # wrong row size
+    with pytest.raises(ConfigError):
+        CustomPattern(np.array([2, 0]))
+
+
+def test_inverted_complements_pattern():
+    inv = inverted(Checkerboard(0), 32)
+    assert np.array_equal(inv.full(32), Checkerboard(1).full(32))
+
+
+def test_pattern_equality_and_hash():
+    assert AllOnes() == AllOnes()
+    assert Checkerboard(0) != Checkerboard(1)
+    assert ByteFill(0x55) == ByteFill(0x55)
+    assert hash(ByteFill(7)) == hash(ByteFill(7))
+    assert AllOnes() != AllZeros()
+
+
+def test_inverted_of_custom_pattern():
+    bits = np.array([1, 0, 1, 1, 0, 0, 1, 0] * 8, dtype=np.uint8)
+    inv = inverted(CustomPattern(bits), 64)
+    assert np.array_equal(inv.full(64), 1 - bits)
+    # Double inversion restores the original.
+    assert np.array_equal(inverted(inv, 64).full(64), bits)

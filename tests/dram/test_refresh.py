@@ -1,0 +1,70 @@
+"""Regular-refresh slot arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.refresh import RefreshEngine
+from repro.errors import ConfigError
+
+
+def test_slots_partition_all_rows():
+    engine = RefreshEngine(num_rows=1000, cycle_refs=64)
+    covered = []
+    for slot in range(64):
+        covered.extend(engine.rows_in_slot(slot))
+    assert covered == list(range(1000))
+
+
+@given(st.integers(1, 5000), st.integers(1, 300))
+def test_slot_of_consistent_with_rows_in_slot(num_rows, cycle_refs):
+    cycle_refs = min(cycle_refs, num_rows)
+    engine = RefreshEngine(num_rows, cycle_refs)
+    for row in (0, num_rows // 2, num_rows - 1):
+        slot = engine.slot_of(row)
+        assert row in engine.rows_in_slot(slot)
+
+
+def test_on_ref_round_robin_and_timestamps():
+    engine = RefreshEngine(num_rows=100, cycle_refs=10)
+    for i in range(25):
+        slot = engine.on_ref(now_ps=1000 + i)
+        assert slot == i % 10
+    # Slot 4 was last refreshed at REF index 24 (time 1000+24).
+    assert engine.last_regular_refresh_ps(engine.rows_in_slot(4)[0]) == 1024
+    # Slot 5 was last hit at REF index 15.
+    assert engine.last_regular_refresh_ps(engine.rows_in_slot(5)[0]) == 1015
+
+
+def test_unrefreshed_rows_report_epoch():
+    engine = RefreshEngine(num_rows=100, cycle_refs=10)
+    assert engine.last_regular_refresh_ps(50) == 0
+    engine.on_ref(now_ps=7)
+    assert engine.last_regular_refresh_ps(0) == 7
+    assert engine.last_regular_refresh_ps(99) == 0
+
+
+def test_refs_until_row():
+    engine = RefreshEngine(num_rows=100, cycle_refs=10)
+    # Row 0 is in slot 0, due on the very next REF.
+    assert engine.refs_until_row(0) == 1
+    engine.on_ref(0)
+    # Slot 0 just passed; now 10 REFs away.
+    assert engine.refs_until_row(0) == 10
+    assert engine.refs_until_row(99) == 9  # slot 9
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        RefreshEngine(0, 1)
+    with pytest.raises(ConfigError):
+        RefreshEngine(10, 0)
+    with pytest.raises(ConfigError):
+        RefreshEngine(10, 20)  # more slots than rows
+    engine = RefreshEngine(10, 5)
+    with pytest.raises(ConfigError):
+        engine.slot_of(10)
+    with pytest.raises(ConfigError):
+        engine.rows_in_slot(5)

@@ -1,0 +1,56 @@
+"""DDR4 timing parameters and derived budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.timing import DDR4_DEFAULT, TimingParameters
+from repro.errors import ConfigError
+from repro.units import ns, us
+
+
+def test_default_row_cycle_is_50ns():
+    assert DDR4_DEFAULT.trc_ps == ns(50)
+
+
+def test_hammers_per_ref_interval_matches_paper_footnote_10():
+    # (7.8 us - 350 ns) / 50 ns = 149 hammers between two REFs.
+    assert DDR4_DEFAULT.hammers_per_ref_interval() == 149
+
+
+def test_hammer_duration_scales_linearly():
+    assert DDR4_DEFAULT.hammer_duration_ps(0) == 0
+    assert DDR4_DEFAULT.hammer_duration_ps(100) == 100 * ns(50)
+
+
+def test_hammer_duration_rejects_negative():
+    with pytest.raises(ConfigError):
+        DDR4_DEFAULT.hammer_duration_ps(-1)
+
+
+def test_multi_bank_hammering_is_tfaw_limited():
+    # 4 banks x N hammers each = 4N ACTs; tFAW allows 4 ACTs per 160 ns,
+    # so the whole burst takes ~N * 160 ns — slower per bank than the
+    # single-bank tRC bound of N * 50 ns.
+    single = DDR4_DEFAULT.multi_bank_hammer_duration_ps(100, 1)
+    quad = DDR4_DEFAULT.multi_bank_hammer_duration_ps(100, 4)
+    assert single == 100 * ns(50)
+    assert quad == 100 * ns(160)
+
+
+def test_multi_bank_hammering_rejects_more_than_four_banks():
+    with pytest.raises(ConfigError):
+        DDR4_DEFAULT.multi_bank_hammer_duration_ps(10, 5)
+
+
+def test_invalid_timing_values_rejected():
+    with pytest.raises(ConfigError):
+        TimingParameters(tras_ps=0)
+    with pytest.raises(ConfigError):
+        TimingParameters(trefi_ps=ns(100))  # below tRFC
+
+
+def test_custom_timing_changes_budget():
+    fast = TimingParameters(tras_ps=ns(30), trp_ps=ns(10))
+    assert fast.trc_ps == ns(40)
+    assert fast.hammers_per_ref_interval() == (us(7.8) - ns(350)) // ns(40)

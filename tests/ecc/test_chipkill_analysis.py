@@ -1,0 +1,108 @@
+"""Chipkill model and the §7.4 dataword analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc import (ChipkillLayout, ChipkillOutcome, assess_ecc,
+                       chipkill_rs, dataword_flip_counts,
+                       required_rs_parity_symbols)
+from repro.ecc.hamming import DecodeStatus
+from repro.errors import ConfigError, DecodingError
+
+
+def test_chipkill_classification_by_symbol_count():
+    layout = ChipkillLayout(symbol_bits=4)
+    assert layout.classify([]) is ChipkillOutcome.CLEAN
+    assert layout.classify([0, 1, 2]) is ChipkillOutcome.CORRECTED
+    assert layout.classify([0, 5]) is ChipkillOutcome.DETECTED
+    assert layout.classify([0, 5, 9]) is ChipkillOutcome.BEYOND_GUARANTEE
+
+
+@given(st.sets(st.integers(0, 63), min_size=1, max_size=8))
+def test_chipkill_symbols_hit_consistent(flips):
+    layout = ChipkillLayout(symbol_bits=8)
+    symbols = layout.symbols_hit(flips)
+    assert symbols == {f // 8 for f in flips}
+
+
+def test_chipkill_rs_realizes_ssc():
+    rs = chipkill_rs(ChipkillLayout(symbol_bits=8))
+    data = list(range(8))
+    code = rs.encode(data)
+    corrupted = list(code)
+    corrupted[3] ^= 0xFF  # one whole symbol (chip) fails
+    assert rs.decode(corrupted).data == data
+    # Three corrupted symbols exceed the SSC-DSD guarantee.
+    for position in (1, 4, 6):
+        corrupted[position] ^= 0x0F
+    with pytest.raises(DecodingError):
+        rs.decode(corrupted)
+
+
+def test_dataword_flip_counts_buckets_by_64_bits():
+    flips = {10: [0, 1, 64, 200, 201, 202]}
+    histogram = dataword_flip_counts(flips)
+    # word 0: 2 flips; word 1: 1 flip; word 3: 3 flips.
+    assert histogram == {2: 1, 1: 1, 3: 1}
+
+
+def test_dataword_flip_counts_across_rows():
+    flips = {1: [0], 2: [0], 3: [5, 6]}
+    histogram = dataword_flip_counts(flips)
+    assert histogram == {1: 2, 2: 1}
+
+
+def test_assess_ecc_end_to_end():
+    flips = {
+        1: [3],                      # 1 flip: SECDED corrects
+        2: [3, 40],                  # 2 flips: SECDED detects
+        3: [3, 17, 40, 55, 5, 29, 60],  # 7 flips: beyond everything
+    }
+    assessment = assess_ecc(flips)
+    assert assessment.words_total == 3
+    assert assessment.max_flips_in_word == 7
+    assert assessment.secded[DecodeStatus.CORRECTED] == 1
+    assert assessment.secded[DecodeStatus.DETECTED] >= 1
+    assert assessment.chipkill[ChipkillOutcome.CORRECTED] == 1
+    assert assessment.chipkill[ChipkillOutcome.BEYOND_GUARANTEE] >= 1
+
+
+def test_required_parity_symbols_matches_paper():
+    assert required_rs_parity_symbols(7) == 7
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ChipkillLayout(symbol_bits=3)
+    with pytest.raises(ConfigError):
+        ChipkillLayout(symbol_bits=4, data_bits=63)
+    with pytest.raises(ConfigError):
+        ChipkillLayout().symbols_hit([99])
+    with pytest.raises(ConfigError):
+        dataword_flip_counts({}, word_bits=0)
+    with pytest.raises(ConfigError):
+        required_rs_parity_symbols(-1)
+
+
+def test_verify_chipkill_with_rs_matches_symbol_model():
+    from repro.ecc import verify_chipkill_with_rs
+    flips = {
+        1: [3],                 # one flip -> one symbol -> RS corrects
+        2: [0, 1, 2, 5],        # four flips in symbol 0 -> RS corrects
+        3: [0, 9],              # two symbols: beyond t=2? RS(12,8) t=2
+        4: [0, 9, 17, 25, 33],  # five symbols -> rejected or silent
+    }
+    outcome = verify_chipkill_with_rs(flips)
+    assert outcome["corrected"] >= 3   # words 1-3 within t=2
+    assert outcome["rejected"] + outcome["silent"] >= 1
+    assert sum(outcome.values()) == 4
+
+
+def test_verify_chipkill_never_silently_fixes_single_symbol():
+    from repro.ecc import verify_chipkill_with_rs
+    flips = {row: [row % 64] for row in range(1, 30)}
+    outcome = verify_chipkill_with_rs(flips)
+    assert outcome == {"corrected": 29, "rejected": 0, "silent": 0}

@@ -1,0 +1,77 @@
+"""GF(2^8) field axioms (property-based)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc import gf256
+from repro.errors import DecodingError
+
+element = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+@given(element, element)
+def test_addition_is_xor_and_self_inverse(a, b):
+    assert gf256.add(a, b) == (a ^ b)
+    assert gf256.add(a, a) == 0
+
+
+@given(element, element, element)
+def test_multiplication_associative_commutative(a, b, c):
+    assert gf256.multiply(a, b) == gf256.multiply(b, a)
+    assert (gf256.multiply(gf256.multiply(a, b), c)
+            == gf256.multiply(a, gf256.multiply(b, c)))
+
+
+@given(element, element, element)
+def test_distributivity(a, b, c):
+    left = gf256.multiply(a, b ^ c)
+    right = gf256.multiply(a, b) ^ gf256.multiply(a, c)
+    assert left == right
+
+
+@given(nonzero)
+def test_multiplicative_inverse(a):
+    assert gf256.multiply(a, gf256.inverse(a)) == 1
+
+
+@given(element, nonzero)
+def test_division_inverts_multiplication(a, b):
+    assert gf256.divide(gf256.multiply(a, b), b) == a
+
+
+def test_zero_division_and_inverse_rejected():
+    with pytest.raises(DecodingError):
+        gf256.divide(5, 0)
+    with pytest.raises(DecodingError):
+        gf256.inverse(0)
+
+
+@given(nonzero, st.integers(0, 300))
+def test_power_matches_repeated_multiplication(a, exponent):
+    expected = 1
+    for _ in range(exponent):
+        expected = gf256.multiply(expected, a)
+    assert gf256.power(a, exponent) == expected
+
+
+def test_generator_has_full_order():
+    seen = set()
+    value = 1
+    for _ in range(255):
+        seen.add(value)
+        value = gf256.multiply(value, 2)
+    assert len(seen) == 255
+    assert value == 1  # order divides 255
+
+
+@given(st.lists(element, min_size=1, max_size=6),
+       st.lists(element, min_size=1, max_size=6), element)
+def test_poly_multiply_evaluates_consistently(a, b, x):
+    product = gf256.poly_multiply(a, b)
+    assert (gf256.poly_evaluate(product, x)
+            == gf256.multiply(gf256.poly_evaluate(a, x),
+                              gf256.poly_evaluate(b, x)))

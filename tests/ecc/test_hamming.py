@@ -1,0 +1,76 @@
+"""SECDED (72,64): correction, detection, and its >= 3-flip blind spot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import hamming
+from repro.ecc.hamming import DecodeStatus
+from repro.errors import ConfigError
+
+words = st.lists(st.integers(0, 1), min_size=64, max_size=64)
+
+
+@given(words)
+def test_roundtrip_clean(data):
+    code = hamming.encode(np.array(data, dtype=np.uint8))
+    result = hamming.decode(code)
+    assert result.status is DecodeStatus.CLEAN
+    assert np.array_equal(result.data, np.array(data, dtype=np.uint8))
+
+
+@given(words, st.integers(0, 71))
+def test_single_flip_always_corrected(data, position):
+    code = hamming.encode(np.array(data, dtype=np.uint8))
+    code[position] ^= 1
+    result = hamming.decode(code)
+    assert result.status is DecodeStatus.CORRECTED
+    assert np.array_equal(result.data, np.array(data, dtype=np.uint8))
+    assert result.corrected_position == position
+
+
+@given(words, st.sets(st.integers(0, 71), min_size=2, max_size=2))
+def test_double_flip_always_detected(data, positions):
+    code = hamming.encode(np.array(data, dtype=np.uint8))
+    for position in positions:
+        code[position] ^= 1
+    result = hamming.decode(code)
+    assert result.status is DecodeStatus.DETECTED
+
+
+@settings(max_examples=40)
+@given(words, st.sets(st.integers(0, 71), min_size=3, max_size=7))
+def test_three_plus_flips_never_silently_fixed(data, positions):
+    # With >= 3 flips the decoder either detects, or produces wrong data
+    # (never a correct "CORRECTED" back to the original).
+    original = np.array(data, dtype=np.uint8)
+    code = hamming.encode(original)
+    for position in positions:
+        code[position] ^= 1
+    result = hamming.decode(code)
+    if result.status in (DecodeStatus.CLEAN, DecodeStatus.CORRECTED):
+        assert not np.array_equal(result.data, original)
+
+
+def test_classify_flips_matches_paper_story():
+    assert hamming.classify_flips([]) is DecodeStatus.CLEAN
+    assert hamming.classify_flips([10]) is DecodeStatus.CORRECTED
+    assert hamming.classify_flips([10, 33]) is DecodeStatus.DETECTED
+    # Across many 3-flip sets, silent corruption must occur (7.4).
+    outcomes = {hamming.classify_flips([a, a + 7, a + 19])
+                for a in range(40)}
+    assert DecodeStatus.SILENT_CORRUPTION in outcomes
+
+
+def test_input_validation():
+    with pytest.raises(ConfigError):
+        hamming.encode(np.zeros(63, dtype=np.uint8))
+    with pytest.raises(ConfigError):
+        hamming.decode(np.zeros(71, dtype=np.uint8))
+    with pytest.raises(ConfigError):
+        hamming.encode(np.full(64, 2, dtype=np.uint8))
+    with pytest.raises(ConfigError):
+        hamming.classify_flips([99])

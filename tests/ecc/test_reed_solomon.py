@@ -1,0 +1,87 @@
+"""Reed-Solomon over GF(256) (property-based)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import ReedSolomon
+from repro.errors import ConfigError, DecodingError
+
+
+@st.composite
+def rs_case(draw):
+    n = draw(st.integers(8, 40))
+    k = draw(st.integers(2, n - 2))
+    rs = ReedSolomon(n, k)
+    data = draw(st.lists(st.integers(0, 255), min_size=k, max_size=k))
+    errors = draw(st.integers(0, rs.t))
+    positions = draw(st.lists(st.integers(0, n - 1), min_size=errors,
+                              max_size=errors, unique=True))
+    values = draw(st.lists(st.integers(1, 255), min_size=errors,
+                           max_size=errors))
+    return rs, data, list(zip(positions, values))
+
+
+@settings(max_examples=60, deadline=None)
+@given(rs_case())
+def test_corrects_up_to_t_errors(case):
+    rs, data, errors = case
+    codeword = rs.encode(data)
+    corrupted = list(codeword)
+    for position, value in errors:
+        corrupted[position] ^= value
+    outcome = rs.decode(corrupted)
+    assert outcome.data == data
+    assert sorted(outcome.corrected_positions) == sorted(
+        p for p, _ in errors)
+
+
+def test_clean_codeword_decodes_without_corrections():
+    rs = ReedSolomon(18, 10)
+    code = rs.encode(list(range(10)))
+    outcome = rs.decode(code)
+    assert outcome.data == list(range(10))
+    assert outcome.corrections == 0
+
+
+def test_beyond_t_errors_raise():
+    rs = ReedSolomon(18, 10)  # t = 4
+    code = rs.encode([7] * 10)
+    corrupted = list(code)
+    for position in range(6):
+        corrupted[position] ^= 0x55
+    with pytest.raises(DecodingError):
+        rs.decode(corrupted)
+
+
+def test_seven_parity_symbols_detect_seven_flips():
+    # 7.4's closing argument: RS with 7 parity symbols (t=3) cannot
+    # correct 7 symbol errors, but a larger code with 14 can.
+    weak = ReedSolomon(15, 8)   # 7 parity, t=3
+    strong = ReedSolomon(22, 8)  # 14 parity, t=7
+    data = list(range(8))
+    for rs, expect_success in ((weak, False), (strong, True)):
+        corrupted = list(rs.encode(data))
+        for position in range(7):
+            corrupted[position] ^= 0xA5
+        if expect_success:
+            assert rs.decode(corrupted).data == data
+        else:
+            with pytest.raises(DecodingError):
+                rs.decode(corrupted)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigError):
+        ReedSolomon(10, 10)
+    with pytest.raises(ConfigError):
+        ReedSolomon(300, 10)
+    rs = ReedSolomon(18, 10)
+    with pytest.raises(ConfigError):
+        rs.encode([1] * 9)
+    with pytest.raises(ConfigError):
+        rs.decode([0] * 17)
+    with pytest.raises(ConfigError):
+        rs.encode([256] + [0] * 9)

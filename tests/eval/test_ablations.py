@@ -1,0 +1,27 @@
+"""Ablation runners (structure + the cheap AB1 shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import QUICK, run_hammer_mode_ablation
+from repro.eval.ablations import run_mitigation_ablation
+
+
+def test_hammer_mode_ablation_shape():
+    result = run_hammer_mode_ablation(QUICK)
+    assert result.headers[0] == "mode"
+    by_mode = {row[0]: row[2] for row in result.rows}
+    assert set(by_mode) == {"interleaved", "cascaded"}
+    assert by_mode["interleaved"] > by_mode["cascaded"]
+    assert "AB1" in result.render()
+
+
+@pytest.mark.slow
+def test_mitigation_ablation_shape():
+    result = run_mitigation_ablation(QUICK)
+    labels = {row[0] for row in result.rows}
+    assert labels == {"A_TRR1", "PARA 1/2000", "PARA 1/250"}
+    rows = {(row[0], row[1]): row[2] for row in result.rows}
+    assert rows[("A_TRR1", "vendor-a-custom")] > 0
+    assert rows[("PARA 1/250", "vendor-a-custom")] == 0

@@ -1,0 +1,52 @@
+"""Artifact harnesses produce well-formed, shape-correct outputs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.ecc import dataword_flip_counts
+from repro.errors import ConfigError
+from repro.eval import QUICK, run_fig8, run_fig9, run_fig10
+from repro.eval.__main__ import main as eval_main
+
+TINY = dataclasses.replace(QUICK, positions=6, fig8_positions=4)
+
+
+def test_fig8_unknown_module_needs_counts():
+    with pytest.raises(ConfigError):
+        run_fig8("A1", TINY)
+
+
+def test_fig8_render_contains_sweep_points():
+    result = run_fig8("B8", TINY, hammer_counts=(40, 80))
+    text = result.render()
+    assert "B8" in text
+    assert "median" in text
+    assert len(result.sweep.flips_by_hammers) == 2
+
+
+def test_fig9_and_fig10_share_evaluations():
+    fig9 = run_fig9(["B0"], TINY)
+    fig10 = run_fig10(evaluations=fig9.evaluations)
+    assert fig9.evaluations is fig10.evaluations
+    text9 = fig9.render()
+    text10 = fig10.render()
+    assert "B0" in text9 and "vulnerable" in text9
+    assert "SECDED" in text10
+    histogram = dict(fig10.per_module())["B0"]
+    assert histogram == dataword_flip_counts(
+        fig9.evaluations[0].result.flips_by_row)
+
+
+def test_cli_runs_quick_fig9(capsys):
+    assert eval_main(["fig9", "--modules", "B0", "--scale", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 9" in out
+    assert "B0" in out
+
+
+def test_cli_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        eval_main(["fig77"])

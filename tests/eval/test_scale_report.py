@@ -1,0 +1,70 @@
+"""Evaluation scaling and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval import (EvalScale, QUICK, STANDARD, format_pct, get_scale,
+                        render_histogram, render_series, render_table)
+from repro.vendors import get_module
+
+
+def test_scale_presets():
+    assert get_scale("standard") is STANDARD
+    assert get_scale("quick") is QUICK
+    with pytest.raises(ConfigError):
+        get_scale("nope")
+
+
+def test_scaled_cycle_preserves_vendor_a_proportion():
+    a_spec = get_module("A0")   # real cycle 3758
+    b_spec = get_module("B0")   # real cycle 8192
+    assert STANDARD.scaled_cycle(b_spec) == 1024
+    assert STANDARD.scaled_cycle(a_spec) == 3758 * 1024 // 8192
+    assert STANDARD.scaled_cycle(a_spec) < STANDARD.scaled_cycle(b_spec)
+
+
+def test_hc_scaling_roundtrip():
+    spec = get_module("B1")
+    scaled = STANDARD.scaled_hc_first(spec)
+    assert scaled == spec.hc_first // STANDARD.hc_divisor
+    assert STANDARD.unscale_hc(scaled) == scaled * STANDARD.hc_divisor
+
+
+def test_build_host_applies_scale():
+    spec = get_module("A0")
+    host = QUICK.build_host(spec)
+    assert host.rows_per_bank == QUICK.rows_per_bank
+    config = host._chip.config
+    assert config.disturbance.hc_first == QUICK.scaled_hc_first(spec)
+    assert config.refresh_cycle_refs == QUICK.scaled_cycle(spec)
+    assert host._chip.trr.ground_truth.kind == "counter"
+
+
+def test_scale_validation():
+    with pytest.raises(ConfigError):
+        EvalScale(name="bad", rows_per_bank=100, refresh_cycle_refs=1024)
+    with pytest.raises(ConfigError):
+        EvalScale(name="bad", hc_divisor=0)
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "long-header"], [[1, 2], [333, 4]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long-header" in lines[1]
+    assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+
+def test_render_series_and_histogram():
+    series = render_series("s", [(1, "x"), (2, "y")])
+    assert "1" in series and "y" in series
+    histogram = render_histogram("h", {1: 10, 3: 2})
+    assert "10" in histogram and "#" in histogram
+    assert "(empty)" in render_histogram("h", {})
+
+
+def test_format_pct():
+    assert format_pct(0.125) == "12.5%"

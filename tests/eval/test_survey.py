@@ -1,0 +1,21 @@
+"""Survey artifact (full pipeline, one module)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import QUICK
+from repro.eval.survey import run_survey
+
+
+@pytest.mark.slow
+def test_survey_single_module_renders_and_recovers():
+    result = run_survey(["B8"], QUICK)
+    text = result.render()
+    assert "# U-TRR module survey" in text
+    assert "B8" in text
+    assert "sampling" in text
+    survey = result.surveys[0]
+    assert survey.row.ground_truth_matches()
+    assert survey.row.evaluation.vulnerable_fraction > 0.8
+    assert "datawords by flip count" in survey.render()

@@ -1,0 +1,141 @@
+"""Command-granular DDR bus: protocol and timing enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import AllOnes, DramChip
+from repro.errors import ProtocolError, TimingViolationError
+from repro.softmc import Ddr, DdrBus, SoftMCHost
+from repro.units import ms, ns
+
+
+@pytest.fixture
+def bus(small_config):
+    return DdrBus(DramChip(small_config))
+
+
+def test_act_rd_pre_sequence(bus):
+    bus.activate(0, 100)
+    bus.write(0, AllOnes())
+    bits = bus.read(0)
+    assert bits.sum() == bus._chip.config.row_bits
+    bus.precharge(0)
+    assert bus.open_rows() == {}
+
+
+def test_double_activate_rejected(bus):
+    bus.activate(0, 100)
+    with pytest.raises(ProtocolError):
+        bus.activate(0, 200)
+
+
+def test_read_write_pre_require_open_row(bus):
+    with pytest.raises(ProtocolError):
+        bus.read(0)
+    with pytest.raises(ProtocolError):
+        bus.write(0, AllOnes())
+    with pytest.raises(ProtocolError):
+        bus.precharge(0)
+
+
+def test_tras_trp_enforced(bus):
+    timing = bus._chip.config.timing
+    act = bus.activate(0, 100)
+    with pytest.raises(TimingViolationError):
+        bus.precharge(0, at_ps=act + timing.tras_ps - 1)
+    pre = bus.precharge(0)
+    assert pre == act + timing.tras_ps
+    with pytest.raises(TimingViolationError):
+        bus.activate(0, 101, at_ps=pre + timing.trp_ps - 1)
+    act2 = bus.activate(0, 101)
+    assert act2 == pre + timing.trp_ps
+
+
+def test_trcd_enforced(bus):
+    timing = bus._chip.config.timing
+    act = bus.activate(0, 100)
+    with pytest.raises(TimingViolationError):
+        bus.read(0, at_ps=act + timing.trcd_ps - 1)
+    bus.read(0)
+
+
+def test_tfaw_limits_cross_bank_activation_rate(bus):
+    timing = bus._chip.config.timing
+    issues = [bus.activate(bank, 50) for bank in range(4)]
+    # First four ACTs are tRRD-paced; add a fifth in a "bank" we must
+    # first free up — use precharge on bank 0 and re-activate.
+    bus.precharge(0)
+    fifth = bus.activate(0, 51)
+    assert fifth - issues[0] >= timing.tfaw_ps
+
+
+def test_refresh_requires_all_banks_precharged(bus):
+    bus.activate(2, 100)
+    with pytest.raises(ProtocolError):
+        bus.refresh()
+    bus.precharge(2)
+    bus.refresh()
+    assert bus.ref_count == 1
+
+
+def test_trace_records_commands(bus):
+    bus.activate(0, 100)
+    bus.write(0, AllOnes())
+    bus.precharge(0)
+    bus.refresh()
+    kinds = [entry.command for entry in bus.trace]
+    assert kinds == [Ddr.ACT, Ddr.WR, Ddr.PRE, Ddr.REF]
+    assert bus.trace[0].row == 100
+
+
+def test_hammer_once_costs_trc(bus):
+    timing = bus._chip.config.timing
+    first = bus.hammer_once(0, 100)
+    second = bus.hammer_once(0, 100)
+    assert second - first == timing.trc_ps
+
+
+def test_side_channel_visible_through_bus(small_config):
+    chip = DramChip(small_config)
+    bus = DdrBus(chip)
+    host = SoftMCHost(chip)  # ground-truth scan helper only
+    weak = next(row for row in range(small_config.rows_per_bank)
+                if chip.true_retention_ps(0, row, AllOnes()) < ms(3000))
+    retention = chip.true_retention_ps(0, weak, AllOnes())
+    bus.activate(0, weak)
+    bus.write(0, AllOnes())
+    bus.precharge(0)
+    chip.wait(retention + ms(1))
+    bus.activate(0, weak)
+    bits = bus.read(0)
+    assert int(bits.sum()) < small_config.row_bits  # decay observed
+
+
+def test_bus_hammering_matches_host_hammering(small_config):
+    def flips_via_bus(count):
+        chip = DramChip(small_config)
+        bus = DdrBus(chip, record_trace=False)
+        victim = 512
+        bus.activate(0, victim)
+        bus.write(0, AllOnes())
+        bus.precharge(0)
+        for _ in range(count):
+            bus.hammer_once(0, victim - 1)
+            bus.hammer_once(0, victim + 1)
+        bus.activate(0, victim)
+        return small_config.row_bits - int(bus.read(0).sum())
+
+    def flips_via_host(count):
+        chip = DramChip(small_config)
+        host = SoftMCHost(chip)
+        victim = 512
+        host.write_row(0, victim, AllOnes())
+        host.hammer(0, [(victim - 1, count), (victim + 1, count)])
+        return len(host.read_row_mismatches(0, victim))
+
+    threshold = DramChip(small_config).true_min_hammer_threshold(
+        0, 512, AllOnes())
+    count = int(threshold / 2) + 50
+    assert flips_via_bus(count) == flips_via_host(count)
+    assert flips_via_bus(count) > 0

@@ -1,0 +1,51 @@
+"""The shipped examples run end to end (smoke level)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def run_example(name: str, *args: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart_demonstrates_the_side_channel():
+    out = run_example("quickstart.py")
+    assert "unrefreshed past retention" in out
+    assert "0 bit flip(s)" in out       # the refreshed case
+    assert "TRR refreshed the victim" in out
+
+
+def test_reverse_engineer_recovers_c12():
+    out = run_example("reverse_engineer.py", "C12")
+    assert "TRR-capable REF every 8 REFs" in out
+    assert "(truth: window)" in out
+    assert "window" in out
+
+
+def test_errors_form_one_hierarchy():
+    # (not an example, but the catch-all contract examples rely on)
+    import repro.errors as errors
+    for name in ("ConfigError", "TimingViolationError", "ProtocolError",
+                 "ProfilingError", "ExperimentError", "MappingError",
+                 "DecodingError", "AttackConfigError"):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+    assert issubclass(errors.AttackConfigError, errors.ConfigError)
+
+
+def test_rig_workflow_roundtrip():
+    out = run_example("rig_workflow.py")
+    assert "regular refresh cycle: 3758 REFs" in out
+    assert "replayed TRR-A experiment" in out

@@ -1,0 +1,40 @@
+"""Unit conversions and DDR constants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_basic_conversions():
+    assert units.ns(1) == 1_000
+    assert units.us(1) == 1_000_000
+    assert units.ms(1) == 1_000_000_000
+    assert units.seconds(1) == 1_000_000_000_000
+
+
+def test_fractional_values_round_to_picoseconds():
+    assert units.us(7.8) == 7_800_000
+    assert units.ns(0.0004) == 0  # below resolution rounds to zero
+
+
+@given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+def test_roundtrip_ms(value):
+    # Rounding to integer picoseconds bounds the error at 0.5 ps.
+    assert units.to_ms(units.ms(value)) == pytest.approx(value, abs=1e-9)
+
+
+def test_trefi_and_window_constants():
+    assert units.TREFI_PS == 7_800_000
+    assert units.TREFW_PS == 64 * units.PS_PER_MS
+    # 64 ms / 7.8 us ~ 8205 REFs; the paper rounds to 8K.
+    assert units.REFS_PER_WINDOW == 8205
+    assert units.NOMINAL_REFS_PER_WINDOW == 8192
+
+
+def test_conversion_helpers_are_inverse():
+    assert units.to_us(units.us(123.5)) == pytest.approx(123.5)
+    assert units.to_ns(units.ns(7.25)) == pytest.approx(7.25)

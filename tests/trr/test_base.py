@@ -1,0 +1,51 @@
+"""TRR interface: contexts, victim geometry, NoTrr."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.commands import single_row_batch
+from repro.errors import ConfigError
+from repro.trr.base import NoTrr, TrrContext, neighbor_victims
+
+
+def test_neighbor_victims_radius_two():
+    context = TrrContext(num_banks=4, num_rows=100)
+    assert sorted(neighbor_victims(50, 2, context)) == [48, 49, 51, 52]
+
+
+def test_neighbor_victims_radius_one():
+    context = TrrContext(num_banks=4, num_rows=100)
+    assert sorted(neighbor_victims(50, 1, context)) == [49, 51]
+
+
+def test_neighbor_victims_clip_at_edges():
+    context = TrrContext(num_banks=1, num_rows=100)
+    assert sorted(neighbor_victims(0, 2, context)) == [1, 2]
+    assert sorted(neighbor_victims(99, 2, context)) == [97, 98]
+
+
+def test_neighbor_victims_paired_rows():
+    context = TrrContext(num_banks=1, num_rows=100, paired_rows=True)
+    assert neighbor_victims(51, 2, context) == [50]
+    assert neighbor_victims(50, 2, context) == [51]
+
+
+def test_no_trr_is_inert():
+    trr = NoTrr()
+    trr.bind(TrrContext(num_banks=1, num_rows=16))
+    trr.on_activations(0, single_row_batch(0, 3, 1000))
+    for _ in range(100):
+        assert trr.on_refresh() == []
+    assert trr.ground_truth.kind == "none"
+
+
+def test_unbound_mechanism_rejects_use():
+    trr = NoTrr()
+    with pytest.raises(ConfigError):
+        _ = trr.context
+
+
+def test_context_validation():
+    with pytest.raises(ConfigError):
+        TrrContext(num_banks=0, num_rows=10)

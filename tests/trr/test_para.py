@@ -1,0 +1,79 @@
+"""PARA: the stateless ACT-coupled mitigation (future-work study)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import ActBatch, AllOnes, HammerMode
+from repro.dram.commands import single_row_batch
+from repro.errors import ConfigError
+from repro.trr.base import TrrContext
+from repro.trr.para import ParaMitigation
+
+
+def make_para(**kwargs) -> ParaMitigation:
+    para = ParaMitigation(**kwargs)
+    para.bind(TrrContext(num_banks=4, num_rows=4096))
+    return para
+
+
+def test_never_acts_on_ref():
+    para = make_para()
+    para.on_activations(0, single_row_batch(0, 100, 10_000))
+    assert para.on_refresh() == []
+
+
+def test_heavy_hammering_always_triggers_refresh():
+    para = make_para(probability=1 / 500)
+    victims = para.immediate_refreshes(0, single_row_batch(0, 100, 10_000))
+    assert (0, 99) in victims and (0, 101) in victims
+
+
+def test_single_acts_rarely_trigger():
+    para = make_para(probability=1 / 500, seed=3)
+    triggered = sum(
+        1 for _ in range(200)
+        if para.immediate_refreshes(0, single_row_batch(0, 7, 1)))
+    assert triggered < 10  # ~0.2% expected
+
+
+def test_statelessness_no_dummy_diversion():
+    # Hammering dummies cannot displace anything: the aggressor's own
+    # activations keep their full per-ACT refresh probability.
+    para = make_para(probability=1 / 100, seed=4)
+    para.immediate_refreshes(0, single_row_batch(0, 900, 50_000))  # "dummies"
+    victims = para.immediate_refreshes(0, single_row_batch(0, 100, 2_000))
+    assert (0, 99) in victims
+
+
+def test_para_protects_chip_end_to_end(small_config):
+    from repro.dram import DramChip
+    chip = DramChip(small_config, ParaMitigation(probability=1 / 200))
+    victim = 512
+    threshold = chip.true_min_hammer_threshold(0, victim, AllOnes())
+    chip.write_row(0, victim, AllOnes())
+    per_side = int(threshold / 2 * 0.6)
+    batch = ActBatch(bank=0, pattern=((victim - 1, per_side),
+                                      (victim + 1, per_side)),
+                     mode=HammerMode.INTERLEAVED)
+    # Two bursts, no REF at all: PARA refreshes mid-hammering anyway.
+    chip.hammer(batch)
+    chip.hammer(batch)
+    assert chip.read_row_mismatches(0, victim) == []
+    assert chip.stats.trr_refreshes > 0
+
+
+def test_ground_truth_descriptor():
+    truth = make_para(probability=1 / 333).ground_truth
+    assert truth.kind == "para"
+    assert truth.extra["ref_independent"] is True
+    assert truth.trr_ref_period == 0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ParaMitigation(probability=0.0)
+    with pytest.raises(ConfigError):
+        ParaMitigation(probability=1.0)
+    with pytest.raises(ConfigError):
+        ParaMitigation(neighbor_radius=0)

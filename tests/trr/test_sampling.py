@@ -1,0 +1,156 @@
+"""Vendor B sampling-based TRR: every §6.2 observation as a unit test.
+
+The sampler is a deterministic free-running every-Nth-ACT counter (the
+paper: "likely based on pseudo-random sampling of an incoming ACT"), so
+tests can reason exactly about which activation gets sampled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.commands import ActBatch, HammerMode, single_row_batch
+from repro.errors import ConfigError
+from repro.trr.base import TrrContext
+from repro.trr.sampling import SamplingBasedTrr
+
+ROWS = 4096
+
+
+def make_trr(**kwargs) -> SamplingBasedTrr:
+    trr = SamplingBasedTrr(**kwargs)
+    trr.bind(TrrContext(num_banks=4, num_rows=ROWS))
+    return trr
+
+
+def test_obs1_period_controls_trr_capable_refs():
+    for period in (4, 9, 2):
+        trr = make_trr(trr_ref_period=period)
+        trr.on_activations(0, single_row_batch(0, 100, 5000))
+        hits = [i for i in range(1, 37) if trr.on_refresh()]
+        assert hits == [i for i in range(1, 37) if i % period == 0]
+
+
+def test_obs2_two_neighbors_refreshed():
+    trr = make_trr()
+    trr.on_activations(0, single_row_batch(0, 100, 5000))
+    for _ in range(3):
+        assert trr.on_refresh() == []
+    victims = trr.on_refresh()
+    assert sorted(row for _, row in victims) == [99, 101]
+
+
+def test_obs3_long_bursts_always_sampled_short_ones_phase_dependent():
+    # 2K consecutive ACTs always cross a sample point (Obs B3's "2K
+    # consecutive activations consistently cause detection").
+    trr = make_trr(sample_period=500)
+    trr.on_activations(0, single_row_batch(0, 100, 2000))
+    assert trr._shared.row == 100
+    # A 10-ACT burst is only sampled if it happens to straddle a sample
+    # point: right after a sample (countdown 500) it never is.
+    trr2 = make_trr(sample_period=500)
+    trr2.on_activations(0, single_row_batch(0, 100, 10))
+    assert trr2._shared.row is None
+    # ... but at the right phase it is.
+    trr2.on_activations(0, single_row_batch(0, 200, 485))
+    trr2.on_activations(0, single_row_batch(0, 300, 10))
+    assert trr2._shared.row == 300
+
+
+def test_obs3_recency_wins_last_hammered_row_detected():
+    # Hammer row A 5K times then row B 3K times (cascaded): B owns the
+    # last sample point and is the one detected (§6.2.2's H0/H1 finding).
+    trr = make_trr()
+    batch = ActBatch(bank=0, pattern=((1000, 5000), (2000, 3000)),
+                     mode=HammerMode.CASCADED)
+    trr.on_activations(0, batch)
+    victims = []
+    for _ in range(4):
+        victims = trr.on_refresh()
+    assert sorted(row for _, row in victims) == [1999, 2001]
+
+
+def test_sample_counter_runs_across_batches():
+    trr = make_trr(sample_period=500)
+    # 499 ACTs to row A, then 1 ACT to row B: the 500th ACT is B's.
+    trr.on_activations(0, single_row_batch(0, 100, 499))
+    assert trr._shared.row is None
+    trr.on_activations(0, single_row_batch(0, 200, 1))
+    assert trr._shared.row == 200
+
+
+def test_obs4_single_slot_shared_across_banks():
+    trr = make_trr(per_bank=False)
+    trr.on_activations(0, single_row_batch(0, 100, 3000))
+    trr.on_activations(2, single_row_batch(2, 700, 3000))  # overwrites
+    victims = []
+    for _ in range(4):
+        victims = trr.on_refresh()
+    assert victims == [(2, 699), (2, 701)]
+
+
+def test_obs4_per_bank_variant_keeps_one_sample_per_bank():
+    trr = make_trr(per_bank=True, trr_ref_period=2)  # B_TRR3
+    trr.on_activations(0, single_row_batch(0, 100, 3000))
+    trr.on_activations(2, single_row_batch(2, 700, 3000))
+    victims = []
+    for _ in range(2):
+        victims = trr.on_refresh()
+    assert ((0, 99) in victims and (0, 101) in victims
+            and (2, 699) in victims and (2, 701) in victims)
+
+
+def test_obs5_sample_not_cleared_by_trr_refresh():
+    trr = make_trr()
+    trr.on_activations(0, single_row_batch(0, 100, 3000))
+    first = None
+    repeats = 0
+    for _ in range(40):
+        victims = trr.on_refresh()
+        if victims:
+            if first is None:
+                first = victims
+            assert victims == first
+            repeats += 1
+    assert repeats == 10  # every 4th of 40 REFs, all protecting row 100
+
+
+def test_diversion_guarantee_for_custom_pattern():
+    # §7.1 vendor B: a trailing dummy phase at least one sample period
+    # long always owns the final sample before the TRR-capable REF.
+    trr = make_trr(sample_period=500)
+    for phase_spoiler in (0, 123, 456):
+        if phase_spoiler:
+            trr.on_activations(0, single_row_batch(0, 900, phase_spoiler))
+        trr.on_activations(0, ActBatch(
+            bank=0, pattern=((100, 220), (102, 220)),
+            mode=HammerMode.INTERLEAVED))
+        trr.on_activations(0, single_row_batch(0, 2000, 624))
+        assert trr._shared.row == 2000
+
+
+def test_power_cycle_resets_sampler():
+    trr = make_trr()
+    trr.on_activations(0, single_row_batch(0, 100, 5000))
+    trr.power_cycle()
+    assert not any(trr.on_refresh() for _ in range(12))
+    assert trr._shared.countdown == 500
+
+
+def test_ground_truth_descriptor():
+    truth = make_trr(trr_ref_period=4).ground_truth
+    assert truth.kind == "sampling"
+    assert truth.trr_ref_period == 4
+    assert truth.aggressor_capacity == 1
+    assert truth.per_bank is False
+    assert truth.neighbors_refreshed == 2
+    assert truth.extra["sample_period"] == 500
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        SamplingBasedTrr(trr_ref_period=0)
+    with pytest.raises(ConfigError):
+        SamplingBasedTrr(sample_period=0)
+    with pytest.raises(ConfigError):
+        SamplingBasedTrr(neighbor_radius=0)

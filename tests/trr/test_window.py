@@ -1,0 +1,145 @@
+"""Vendor C window-based TRR: every §6.3 observation as a unit test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.commands import ActBatch, HammerMode, single_row_batch
+from repro.errors import ConfigError
+from repro.trr.base import TrrContext
+from repro.trr.window import WindowBasedTrr
+
+ROWS = 4096
+
+
+def make_trr(paired=False, **kwargs) -> WindowBasedTrr:
+    kwargs.setdefault("seed", 5)
+    trr = WindowBasedTrr(**kwargs)
+    trr.bind(TrrContext(num_banks=2, num_rows=ROWS, paired_rows=paired))
+    return trr
+
+
+def test_obs1_period_under_sustained_attack():
+    trr = make_trr(trr_ref_period=17)
+    hits = []
+    for i in range(1, 70):
+        trr.on_activations(0, single_row_batch(0, 100, 50))
+        if trr.on_refresh():
+            hits.append(i)
+    assert hits[0] == 17
+    # Never more frequent than once per 17 REFs.
+    assert all(b - a >= 17 for a, b in zip(hits, hits[1:]))
+
+
+def test_obs1_deferral_when_no_candidate():
+    trr = make_trr(trr_ref_period=17)
+    # 20 REFs with no activations: nothing detected, refresh deferred.
+    assert not any(trr.on_refresh() for _ in range(20))
+    # First activation after the deferral window: very next REF carries
+    # the TRR-induced refresh (already past the 17-REF budget).
+    trr.on_activations(0, single_row_batch(0, 100, 10))
+    victims = trr.on_refresh()
+    assert sorted(row for _, row in victims) == [99, 101]
+
+
+def test_obs2_detection_limited_to_window():
+    trr = make_trr(trr_ref_period=4, window_acts=100, early_bias_tau=30.0)
+    # Row A occupies the whole window; row B activates after it closed.
+    batch = ActBatch(bank=0, pattern=((100, 100), (200, 5000)),
+                     mode=HammerMode.CASCADED)
+    trr.on_activations(0, batch)
+    victims = None
+    for _ in range(4):
+        victims = trr.on_refresh()
+    assert sorted(row for _, row in victims) == [99, 101]
+
+
+def test_obs2_early_rows_more_likely_detected():
+    early_wins = 0
+    for seed in range(60):
+        trr = make_trr(trr_ref_period=4, window_acts=2000,
+                       early_bias_tau=700.0, seed=seed)
+        batch = ActBatch(bank=0, pattern=((100, 1000), (200, 1000)),
+                         mode=HammerMode.CASCADED)
+        trr.on_activations(0, batch)
+        victims = None
+        for _ in range(4):
+            victims = trr.on_refresh()
+        assert victims, "a full window must always yield a candidate"
+        if victims[0][1] == 99:
+            early_wins += 1
+    assert early_wins > 40  # strong early bias, but not deterministic
+    assert early_wins < 60
+
+
+def test_window_resets_after_trr_refresh():
+    trr = make_trr(trr_ref_period=2, window_acts=50, early_bias_tau=10.0)
+    trr.on_activations(0, single_row_batch(0, 100, 50))
+    for _ in range(2):
+        trr.on_refresh()
+    # New window: a different row can now be detected.
+    trr.on_activations(0, single_row_batch(0, 300, 50))
+    victims = None
+    for _ in range(2):
+        victims = trr.on_refresh()
+    assert sorted(row for _, row in victims) == [299, 301]
+
+
+def test_obs3_paired_rows_refresh_only_pair():
+    trr = make_trr(paired=True, trr_ref_period=8)
+    trr.on_activations(0, single_row_batch(0, 101, 50))
+    victims = None
+    for _ in range(8):
+        victims = trr.on_refresh()
+    assert victims == [(0, 100)]
+
+
+def test_per_bank_windows_and_deferral_are_independent():
+    trr = make_trr(trr_ref_period=4)
+    trr.on_activations(0, single_row_batch(0, 100, 50))
+    # Bank 1 sees no ACTs: only bank 0 gets a TRR refresh.
+    victims = None
+    for _ in range(4):
+        victims = trr.on_refresh()
+    assert {bank for bank, _ in victims} == {0}
+    # Bank 1 activates later; its refresh fires at the next REF (due).
+    trr.on_activations(1, single_row_batch(1, 700, 50))
+    victims = trr.on_refresh()
+    assert {bank for bank, _ in victims} == {1}
+
+
+def test_first_activation_always_becomes_initial_candidate():
+    trr = make_trr(trr_ref_period=1, early_bias_tau=0.001)
+    # tau ~ 0: only position 0 has non-negligible adoption probability.
+    batch = ActBatch(bank=0, pattern=((42, 1), (900, 1999)),
+                     mode=HammerMode.CASCADED)
+    trr.on_activations(0, batch)
+    victims = trr.on_refresh()
+    assert sorted(row for _, row in victims) == [41, 43]
+
+
+def test_power_cycle_clears_windows():
+    trr = make_trr(trr_ref_period=2)
+    trr.on_activations(0, single_row_batch(0, 100, 50))
+    trr.power_cycle()
+    assert not any(trr.on_refresh() for _ in range(6))
+
+
+def test_ground_truth_descriptor():
+    truth = make_trr(trr_ref_period=17, window_acts=2000).ground_truth
+    assert truth.kind == "window"
+    assert truth.trr_ref_period == 17
+    assert truth.extra["window_acts"] == 2000
+    assert truth.extra["deferred"] is True
+    assert truth.per_bank is True
+    paired_truth = make_trr(paired=True).ground_truth
+    assert paired_truth.neighbors_refreshed == 1
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        WindowBasedTrr(trr_ref_period=0)
+    with pytest.raises(ConfigError):
+        WindowBasedTrr(window_acts=0)
+    with pytest.raises(ConfigError):
+        WindowBasedTrr(early_bias_tau=0)

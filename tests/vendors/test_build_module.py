@@ -1,0 +1,63 @@
+"""End-to-end module construction from specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import AllOnes, DramChip
+from repro.errors import ConfigError
+from repro.trr.base import NoTrr
+from repro.vendors import build_module, get_module
+from repro.vendors.spec import ModuleSpec, TrrVersion
+
+
+def test_build_module_attaches_trr():
+    chip = build_module(get_module("A0"), rows_per_bank=1024, row_bits=512)
+    assert chip.trr.ground_truth.kind == "counter"
+    assert chip.config.refresh_cycle_refs == min(3758, 1024)
+
+
+def test_build_module_paired_coupling_propagates():
+    chip = build_module(get_module("C0"), rows_per_bank=1024, row_bits=512)
+    assert chip.config.disturbance.paired_coupling is True
+    assert chip.trr.context.paired_rows is True
+
+
+def test_build_module_mapping_scheme_propagates():
+    chip = build_module(get_module("A5"), rows_per_bank=1024, row_bits=512)
+    assert chip.config.mapping_scheme == "bit_swap_0_1"
+
+
+def test_built_chips_replay_deterministically():
+    spec = get_module("B8")
+    a = build_module(spec, rows_per_bank=1024, row_bits=512)
+    b = build_module(spec, rows_per_bank=1024, row_bits=512)
+    for row in range(0, 1024, 111):
+        assert (a.true_retention_ps(0, row, AllOnes())
+                == b.true_retention_ps(0, row, AllOnes()))
+
+
+def test_hc_first_implant_reaches_disturbance_config():
+    spec = get_module("B1")
+    chip = build_module(spec, rows_per_bank=1024, row_bits=512)
+    assert chip.config.disturbance.hc_first == spec.hc_first
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        ModuleSpec(module_id="X0", vendor="X", date_code="20-01",
+                   density_gbit=8, ranks=1, num_banks=16, pins=8,
+                   hc_first=10_000, trr_version=TrrVersion.NONE)
+    with pytest.raises(ConfigError):
+        ModuleSpec(module_id="A99", vendor="A", date_code="20-01",
+                   density_gbit=8, ranks=1, num_banks=4, pins=8,
+                   hc_first=10_000, trr_version=TrrVersion.A_TRR1)
+
+
+def test_none_version_builds_unprotected_chip():
+    spec = ModuleSpec(module_id="RAW", vendor="-", date_code="15-01",
+                      density_gbit=4, ranks=1, num_banks=16, pins=8,
+                      hc_first=139_000, trr_version=TrrVersion.NONE)
+    chip = build_module(spec, rows_per_bank=1024, row_bits=512)
+    assert isinstance(chip, DramChip)
+    assert isinstance(chip.trr, NoTrr)

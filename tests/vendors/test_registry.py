@@ -1,0 +1,147 @@
+"""Registry completeness and fidelity to Table 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.vendors import (FIGURE8_MODULES, TrrVersion, all_modules,
+                           get_module, modules_by_vendor, modules_by_version)
+
+
+def test_exactly_45_modules():
+    modules = all_modules()
+    assert len(modules) == 45
+    assert len(modules_by_vendor("A")) == 15
+    assert len(modules_by_vendor("B")) == 15
+    assert len(modules_by_vendor("C")) == 15
+
+
+def test_module_ids_are_contiguous():
+    ids = {spec.module_id for spec in all_modules()}
+    expected = {f"{v}{i}" for v in "ABC" for i in range(15)}
+    assert ids == expected
+
+
+def test_version_assignment_matches_table1():
+    assert get_module("A0").trr_version is TrrVersion.A_TRR1
+    assert get_module("A13").trr_version is TrrVersion.A_TRR2
+    assert get_module("A14").trr_version is TrrVersion.A_TRR2
+    assert get_module("B0").trr_version is TrrVersion.B_TRR1
+    assert get_module("B9").trr_version is TrrVersion.B_TRR2
+    assert get_module("B13").trr_version is TrrVersion.B_TRR3
+    assert get_module("C0").trr_version is TrrVersion.C_TRR1
+    assert get_module("C9").trr_version is TrrVersion.C_TRR2
+    assert get_module("C12").trr_version is TrrVersion.C_TRR3
+
+
+def test_hc_first_within_reported_ranges():
+    for spec in all_modules():
+        low, high = spec.paper.hc_first_range
+        assert low <= spec.hc_first <= high
+
+
+def test_vendor_a_uses_short_refresh_cycle():
+    # Obs A8: vendor A's chips complete a refresh pass in 3758 REFs.
+    for spec in modules_by_vendor("A"):
+        assert spec.refresh_cycle_refs == 3758
+    for spec in modules_by_vendor("B") + modules_by_vendor("C"):
+        assert spec.refresh_cycle_refs == 8192
+
+
+def test_paired_rows_only_c0_to_c8():
+    for spec in all_modules():
+        expected = spec.module_id in {f"C{i}" for i in range(9)}
+        assert spec.paired_rows == expected, spec.module_id
+
+
+def test_trr_to_ref_ratios_match_table1():
+    ratios = {
+        TrrVersion.A_TRR1: 9, TrrVersion.A_TRR2: 9,
+        TrrVersion.B_TRR1: 4, TrrVersion.B_TRR2: 9, TrrVersion.B_TRR3: 2,
+        TrrVersion.C_TRR1: 17, TrrVersion.C_TRR2: 9, TrrVersion.C_TRR3: 8,
+    }
+    for spec in all_modules():
+        assert (spec.trr_parameters()["trr_ref_period"]
+                == ratios[spec.trr_version]), spec.module_id
+
+
+def test_nominal_bank_sizes_match_paper_section_7_3():
+    # 8 Gbit: 16 banks -> 32K rows, 8 banks -> 64K rows.
+    assert get_module("A0").nominal_rows_per_bank == 32_768
+    assert get_module("A1").nominal_rows_per_bank == 65_536
+    assert get_module("B0").nominal_rows_per_bank == 16_384   # 4 Gbit
+    assert get_module("C12").nominal_rows_per_bank == 131_072  # 16 Gbit
+
+
+def test_make_trr_ground_truth_consistency():
+    for spec in all_modules():
+        trr = spec.make_trr()
+        params = spec.trr_parameters()
+        # Mechanisms report the implant period before binding to a chip.
+        assert trr.trr_ref_period == params["trr_ref_period"]
+
+
+def test_neighbor_counts_match_table1():
+    neighbor_count = {
+        "A0": 4, "A13": 2,      # A_TRR1 refreshes 4, A_TRR2 refreshes 2
+        "B0": 2, "B13": 4,      # B_TRR3 refreshes 4 (Table 1)
+        "C9": 2,
+    }
+    for module_id, expected in neighbor_count.items():
+        spec = get_module(module_id)
+        trr = spec.make_trr()
+        radius = getattr(trr, "neighbor_radius")
+        assert 2 * radius == expected, module_id
+    # Pair-isolated modules protect exactly the pair row (1 victim).
+    from repro.trr.base import TrrContext
+    trr = get_module("C0").make_trr()
+    trr.bind(TrrContext(num_banks=16, num_rows=1024, paired_rows=True))
+    assert trr.ground_truth.neighbors_refreshed == 1
+
+
+def test_window_sizes_c_trr3_uses_1k():
+    assert get_module("C0").trr_parameters()["window_acts"] == 2000
+    assert get_module("C12").trr_parameters()["window_acts"] == 1000
+
+
+def test_b_trr_sharing_across_banks():
+    assert get_module("B0").trr_parameters()["per_bank"] is False
+    assert get_module("B9").trr_parameters()["per_bank"] is False
+    assert get_module("B13").trr_parameters()["per_bank"] is True
+
+
+def test_figure8_modules_exist_and_match_footnote_15():
+    versions = [get_module(m).trr_version for m in FIGURE8_MODULES]
+    assert versions == [TrrVersion.A_TRR1, TrrVersion.B_TRR1,
+                        TrrVersion.C_TRR1]
+
+
+def test_unknown_lookups_rejected():
+    with pytest.raises(ConfigError):
+        get_module("Z9")
+    with pytest.raises(ConfigError):
+        modules_by_vendor("Z")
+
+
+def test_device_configs_are_deterministic_per_module():
+    a = get_module("A5").device_config(rows_per_bank=1024)
+    b = get_module("A5").device_config(rows_per_bank=1024)
+    assert a == b
+    other = get_module("A6").device_config(rows_per_bank=1024)
+    assert a.serial != other.serial
+
+
+def test_paper_result_ranges_are_sane():
+    for spec in all_modules():
+        low, high = spec.paper.vulnerable_rows_pct_range
+        assert 0.0 <= low <= high <= 100.0
+        flow, fhigh = spec.paper.max_flips_per_row_per_hammer_range
+        assert 0.0 <= flow <= fhigh
+        hlow, hhigh = spec.paper.hc_first_range
+        assert 0 < hlow <= hhigh
+
+
+def test_trr_versions_partition_by_vendor():
+    for spec in all_modules():
+        assert spec.trr_version.vendor == spec.vendor
