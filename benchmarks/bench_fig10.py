@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ecc import DecodeStatus, assess_ecc, dataword_flip_counts
+from repro.ecc import assess_ecc
 from repro.eval import QUICK, run_fig10
 
 MODULES = ["A0", "B8", "B13", "C12"]

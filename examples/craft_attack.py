@@ -10,7 +10,6 @@ End-to-end attacker story against one module:
 Run:  python examples/craft_attack.py [module-id]   (default B8)
 """
 
-import dataclasses
 import sys
 
 from repro.attacks import (AttackExecutor, DoubleSidedPattern,

@@ -64,7 +64,7 @@ class AttackSession:
         """Synchronize: make the next REF index a TRR-period multiple."""
         self.fill_window()
 
-    # -- hammering ----------------------------------------------------------------
+    # -- hammering ------------------------------------------------------------
 
     def hammer(self, bank: int, pairs, mode: HammerMode = HammerMode.
                INTERLEAVED) -> None:

@@ -10,6 +10,7 @@ from .inference import InferenceConfig, InferredTrrProfile, TrrInference
 from .mapping_re import (CouplingTopology, MappingDiscovery,
                          discover_row_mapping)
 from .refclassifier import RefreshCalibrator, RefreshSchedule
+from .resilience import AnalyzerStats, PipelineStats, RowScoutStats
 from .rowgroup import RowGroup, RowGroupLayout
 from .rowscout import ProfilingConfig, RowScout
 from .serialization import load_measurement, save_measurement
@@ -18,12 +19,14 @@ from .trranalyzer import (AggressorHammer, ExperimentConfig,
 
 __all__ = [
     "AggressorHammer",
+    "AnalyzerStats",
     "CouplingTopology",
     "ExperimentConfig",
     "ExperimentResult",
     "InferenceConfig",
     "InferredTrrProfile",
     "MappingDiscovery",
+    "PipelineStats",
     "ProfilingConfig",
     "RefreshCalibrator",
     "RefreshSchedule",
@@ -31,6 +34,7 @@ __all__ = [
     "RowGroupLayout",
     "RowObservation",
     "RowScout",
+    "RowScoutStats",
     "TrrAnalyzer",
     "TrrInference",
     "load_measurement",

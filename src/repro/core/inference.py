@@ -32,11 +32,12 @@ from dataclasses import dataclass, field
 
 from ..dram.commands import HammerMode
 from ..dram.patterns import AllOnes, DataPattern
-from ..errors import ExperimentError
+from ..errors import ExperimentError, ProfilingError, TransientFaultError
 from ..softmc import SoftMCHost
 from .mapping_re import CouplingTopology, MappingDiscovery, \
     discover_row_mapping
 from .refclassifier import RefreshCalibrator, RefreshSchedule
+from .resilience import PipelineStats
 from .rowgroup import RowGroup, RowGroupLayout
 from .rowscout import ProfilingConfig, RowScout
 from .trranalyzer import (AggressorHammer, ExperimentConfig,
@@ -70,6 +71,22 @@ class InferenceConfig:
     capacity_candidates: tuple[int, ...] = (4, 16, 17)
     capacity_repeats: int = 3
     max_trr_period: int = 24
+    # -- hardening knobs (all defaults preserve the exact unhardened
+    # -- behaviour: with these at their defaults every run is
+    # -- bit-identical to the pre-hardening pipeline).
+    #: Majority-vote repetitions per stateless experiment (1 = single
+    #: run, no voting).
+    experiment_votes: int = 1
+    #: Row Scout re-probes of an inconsistent validation round.
+    profiling_round_retries: int = 0
+    #: Full Fig. 6 escalations before profiling gives up.
+    profiling_scan_attempts: int = 1
+    #: Recalibrate a row's refresh phase after this many
+    #: flipped-despite-covering-REF surprises (0 = never recalibrate).
+    recalibrate_after_violations: int = 0
+    #: Degrade failed stages to defaults tagged with confidence 0.0
+    #: instead of propagating the exception.
+    partial_on_failure: bool = False
 
 
 @dataclass
@@ -90,24 +107,31 @@ class InferredTrrProfile:
     #: mitigation (PARA-like) rather than a REF-piggybacked TRR.
     ref_independent: bool = False
     details: dict = field(default_factory=dict)
+    #: Stage name -> confidence in that stage's answer (1.0 = the stage
+    #: completed normally; 0.0 = it failed and the value is a default).
+    confidence: dict = field(default_factory=dict)
+    #: True when at least one stage degraded to a default value.
+    partial: bool = False
 
     def summary(self) -> str:
         """One Table 1-style line."""
         if self.ref_independent:
-            return (f"detection={self.detection} (ACT-coupled, "
+            line = (f"detection={self.detection} (ACT-coupled, "
                     f"REF-independent) "
                     f"refresh_cycle={self.regular_refresh_cycle} "
                     f"mapping={self.mapping_scheme} "
                     f"coupling={self.coupling.value}")
-        ratio = (f"1/{self.trr_ref_period}" if self.trr_ref_period
-                 else "none")
-        capacity = self.aggressor_capacity
-        return (f"detection={self.detection} ratio={ratio} "
-                f"neighbors={self.neighbors_refreshed} "
-                f"capacity={capacity} per_bank={self.per_bank} "
-                f"refresh_cycle={self.regular_refresh_cycle} "
-                f"mapping={self.mapping_scheme} "
-                f"coupling={self.coupling.value}")
+        else:
+            ratio = (f"1/{self.trr_ref_period}" if self.trr_ref_period
+                     else "none")
+            capacity = self.aggressor_capacity
+            line = (f"detection={self.detection} ratio={ratio} "
+                    f"neighbors={self.neighbors_refreshed} "
+                    f"capacity={capacity} per_bank={self.per_bank} "
+                    f"refresh_cycle={self.regular_refresh_cycle} "
+                    f"mapping={self.mapping_scheme} "
+                    f"coupling={self.coupling.value}")
+        return f"[partial] {line}" if self.partial else line
 
 
 class TrrInference:
@@ -120,9 +144,13 @@ class TrrInference:
         self._mapping_discovery: MappingDiscovery | None = None
         self._scout: RowScout | None = None
         self._cycle: int | None = None
+        self._calibrator: RefreshCalibrator | None = None
         #: (layout notation, count, banks) -> (groups per bank, schedule).
         self._acquired: dict[tuple, tuple[list[list[RowGroup]],
                                           RefreshSchedule]] = {}
+        #: Aggregated recovery-work counters for this run (the chaos
+        #: harness reports them; all zero on a quiet substrate).
+        self.stats = PipelineStats()
 
     # -- stage 0: mapping (§5.3) -------------------------------------------
 
@@ -141,6 +169,8 @@ class TrrInference:
         if self._scout is None:
             self._scout = RowScout(self._host,
                                    self.mapping_discovery.mapping)
+            # Aggregate the scout's recovery counters into this run's.
+            self._scout.stats = self.stats.rowscout
         return self._scout
 
     # -- stage 1: acquire groups + calibrate their bucket ---------------------
@@ -152,7 +182,9 @@ class TrrInference:
             group_count=count, pattern=self.config.pattern,
             initial_t_ms=self.config.initial_t_ms,
             max_t_ms=self.config.max_t_ms,
-            validation_rounds=self.config.validation_rounds)
+            validation_rounds=self.config.validation_rounds,
+            round_retries=self.config.profiling_round_retries,
+            scan_attempts=self.config.profiling_scan_attempts)
 
     def acquire(self, layout: str, count: int,
                 banks: tuple[int, ...] | None = None
@@ -170,24 +202,117 @@ class TrrInference:
                 per_bank = [groups[:count] for groups in value[0]]
                 self._acquired[key] = (per_bank, value[1])
                 return self._acquired[key]
-        per_bank = self.scout.find_groups_joint(
-            [self._profiling_config(layout, count, bank) for bank in banks])
+        profiling_configs = [self._profiling_config(layout, count, bank)
+                             for bank in banks]
+        per_bank = self.scout.find_groups_joint(profiling_configs)
         # Earlier experiments may have left aggressors in the TRR state
         # whose neighbors overlap the freshly found groups (Obs A7: table
         # entries persist); flush before calibrating.
         self._flush_trr_state(per_bank)
         calibrator = RefreshCalibrator(self._host, self.config.pattern)
+        # Kept for schedule repairs (recalibrate_after_violations): the
+        # most recent calibrator already protects the freshest row set.
+        self._calibrator = calibrator
         retention = per_bank[0][0].retention_ps
         if self._cycle is None:
-            first = per_bank[0][0]
-            self._cycle = calibrator.find_cycle(
-                first.bank, first.logical_rows[0], retention)
+            self._cycle = self._measure_cycle(calibrator, per_bank,
+                                              retention)
         rows = [(group.bank, logical)
                 for groups in per_bank for group in groups
                 for logical in group.logical_rows]
-        schedule = calibrator.calibrate_rows(rows, retention, self._cycle)
+        schedule = calibrator.calibrate_rows(
+            rows, retention, self._cycle,
+            drop_uncovered=self.config.partial_on_failure)
+        if self._hardened:
+            per_bank = self._repair_uncalibrated(per_bank, schedule,
+                                                 profiling_configs,
+                                                 calibrator, retention)
         self._acquired[key] = (per_bank, schedule)
         return self._acquired[key]
+
+    def _repair_uncalibrated(self, per_bank: list[list[RowGroup]],
+                             schedule: RefreshSchedule,
+                             profiling_configs: list[ProfilingConfig],
+                             calibrator: RefreshCalibrator,
+                             retention: int) -> list[list[RowGroup]]:
+        """Replace groups whose rows could not be phase-calibrated.
+
+        On a drifting substrate some rows wander out of their retention
+        bucket by calibration time; their survivals would stay forever
+        inconclusive.  Each affected group is swapped for a freshly
+        scanned same-bucket replacement (``RowScout.replace_group``) and
+        the replacement's phases are calibrated into the shared
+        schedule.  Groups that cannot be replaced are kept — demoted to
+        the back of the list so experiments needing few groups get the
+        well-calibrated ones.
+        """
+
+        def uncalibrated(group: RowGroup) -> int:
+            return sum(1 for logical in group.logical_rows
+                       if (group.bank, logical)
+                       not in schedule.phase_windows)
+
+        repaired: list[list[RowGroup]] = []
+        for groups, config in zip(per_bank, profiling_configs):
+            groups = list(groups)
+            for index, group in enumerate(groups):
+                if not uncalibrated(group):
+                    continue
+                keep = [g for g in groups if g is not group]
+                try:
+                    replacement = self.scout.replace_group(config, group,
+                                                           keep=keep)
+                except ProfilingError:
+                    continue
+                new_rows = [(replacement.bank, logical)
+                            for logical in replacement.logical_rows]
+                patch = calibrator.calibrate_rows(
+                    new_rows, retention, self._cycle, drop_uncovered=True)
+                schedule.confidence.update(patch.confidence)
+                if all(key in patch.phase_windows for key in new_rows):
+                    schedule.phase_windows.update(patch.phase_windows)
+                    groups[index] = replacement
+            groups.sort(key=uncalibrated)
+            repaired.append(groups)
+        return repaired
+
+    @property
+    def _hardened(self) -> bool:
+        """Is any resilience knob switched on?"""
+        config = self.config
+        return (config.experiment_votes > 1
+                or config.profiling_round_retries > 0
+                or config.profiling_scan_attempts > 1
+                or config.recalibrate_after_violations > 0
+                or config.partial_on_failure)
+
+    def _measure_cycle(self, calibrator: RefreshCalibrator,
+                       per_bank: list[list[RowGroup]],
+                       retention: int) -> int:
+        """Measure the regular-refresh cycle from one profiled row.
+
+        The unhardened path uses the first group's first row, exactly as
+        before.  The hardened path pre-checks that the row still decays
+        (a drifted row survives everything and would measure cycle 1)
+        and falls back to the other profiled rows when it does not.
+        """
+        first = per_bank[0][0]
+        if not self._hardened:
+            return calibrator.find_cycle(first.bank,
+                                         first.logical_rows[0], retention)
+        candidates = [(group.bank, logical)
+                      for group in per_bank[0]
+                      for logical in group.logical_rows]
+        last_error: Exception | None = None
+        for bank, row in candidates:
+            try:
+                return calibrator.find_cycle(bank, row, retention,
+                                             check_decay=True)
+            except TransientFaultError as exc:
+                last_error = exc
+        raise ExperimentError(
+            "no profiled row usable for cycle measurement: "
+            f"{last_error}")
 
     def _flush_trr_state(self, per_bank: list[list[RowGroup]]) -> None:
         """Dummy-hammer + REF bursts to evict every stale TRR entry."""
@@ -199,15 +324,54 @@ class TrrInference:
     @property
     def regular_refresh_cycle(self) -> int:
         if self._cycle is None:
-            self.acquire("R-R", 1)
+            # The hardened path profiles a few spare groups up front: the
+            # cycle measurement spans minutes of simulated time, and on a
+            # drifting substrate some candidate rows will wander out of
+            # their bucket mid-measurement.
+            self.acquire("R-R", 4 if self._hardened else 1)
         return self._cycle
 
-    # -- helpers -----------------------------------------------------------------
+    # -- helpers --------------------------------------------------------------
 
     def _analyzer(self, groups: list[RowGroup],
                   schedule: RefreshSchedule) -> TrrAnalyzer:
-        return TrrAnalyzer(self._host, groups, schedule,
-                           self.mapping_discovery.mapping)
+        analyzer = TrrAnalyzer(self._host, groups, schedule,
+                               self.mapping_discovery.mapping,
+                               stats=self.stats.analyzer)
+        analyzer.verify_hits = self._hardened
+        return analyzer
+
+    def _run(self, analyzer: TrrAnalyzer,
+             config: ExperimentConfig) -> ExperimentResult:
+        """Run one experiment with the configured hardening.
+
+        Stateless (``reset_state``) experiments are majority-voted when
+        ``experiment_votes`` > 1; stateful probes always run once (a
+        repetition would measure a different TRR state).  Afterwards any
+        row that accumulated ``recalibrate_after_violations``
+        flipped-despite-covering-REF surprises gets its refresh phase
+        re-measured in place — the drifted-schedule repair.
+        """
+        votes = self.config.experiment_votes
+        if votes > 1 and config.reset_state:
+            result = analyzer.run_robust(config, votes)
+        else:
+            result = analyzer.run(config)
+        self._maybe_recalibrate(analyzer)
+        return result
+
+    def _maybe_recalibrate(self, analyzer: TrrAnalyzer) -> None:
+        threshold = self.config.recalibrate_after_violations
+        if (threshold <= 0 or self._calibrator is None
+                or analyzer.schedule is None):
+            return
+        for (bank, row), count in list(analyzer.schedule_suspects.items()):
+            if count < threshold:
+                continue
+            self._calibrator.recalibrate_row(
+                analyzer.schedule, bank, row, analyzer.retention_ps)
+            analyzer.schedule_suspects[(bank, row)] = 0
+            self.stats.recalibrations += 1
 
     def _center_aggressor(self, group: RowGroup,
                           count: int) -> AggressorHammer:
@@ -231,7 +395,7 @@ class TrrInference:
                     break
         return hits
 
-    # -- stage 1.5: REF-coupled or ACT-coupled mitigation? ------------------------
+    # -- stage 1.5: REF-coupled or ACT-coupled mitigation? --------------------
 
     def test_ref_independence(self) -> tuple[bool, dict]:
         """Are victims protected even when NO REF command is ever issued?
@@ -249,7 +413,7 @@ class TrrInference:
         protected = 0
         trials = 3
         for _ in range(trials):
-            result = analyzer.run(ExperimentConfig(
+            result = self._run(analyzer, ExperimentConfig(
                 aggressors=(aggressor,), refs_per_round=0,
                 rounds=4, reset_state=True))
             if 0 in self._hit_groups(result, groups):
@@ -257,7 +421,7 @@ class TrrInference:
         return protected == trials, {"protected": protected,
                                      "trials": trials}
 
-    # -- stage 2: TRR-to-REF stride (Obs A1 / B1 / C1) ---------------------------
+    # -- stage 2: TRR-to-REF stride (Obs A1 / B1 / C1) ------------------------
 
     def find_trr_period(self) -> tuple[int | None, dict]:
         """Single-REF experiments over many groups: the REF indices with
@@ -291,7 +455,7 @@ class TrrInference:
             return None, {"hits": hits, "diffs": diffs}
         return period, {"hits": hits, "diffs": diffs}
 
-    # -- stage 3: refreshed neighbors (Obs A2 / B2 / C3) --------------------------
+    # -- stage 3: refreshed neighbors (Obs A2 / B2 / C3) ----------------------
 
     def find_refreshed_neighbors(self, trr_period: int) -> tuple[
             tuple[int, ...], dict]:
@@ -313,7 +477,7 @@ class TrrInference:
             aggressor = self._center_aggressor(group, config.hammer_count)
             hit_sides: set[str] = set()
             for _ in range(config.neighbor_repeats):
-                result = analyzer.run(ExperimentConfig(
+                result = self._run(analyzer, ExperimentConfig(
                     aggressors=(aggressor,),
                     refs_per_round=2 * trr_period, reset_state=True))
                 by_row = result.by_row()
@@ -327,7 +491,7 @@ class TrrInference:
                 sides[distance] = hit_sides
         return tuple(refreshed), {"sides": sides}
 
-    # -- stage 4: persistence / deferral (Obs A7 / B5 / C1) ------------------------
+    # -- stage 4: persistence / deferral (Obs A7 / B5 / C1) -------------------
 
     def test_state_persistence(self, trr_period: int) -> tuple[bool, dict]:
         """Does TRR keep protecting a row it detected once, without any
@@ -342,11 +506,17 @@ class TrrInference:
         analyzer = self._analyzer(groups, schedule)
         aggressor = self._center_aggressor(groups[0], config.hammer_count)
         # Prime: one hammered experiment that must show a TRR refresh.
+        # On a noisy substrate one priming attempt can be spoiled by a
+        # dropped init write or a transient read; retry before giving up.
         refs = 2 * 16 * trr_period + 2
-        primed = analyzer.run(ExperimentConfig(
-            aggressors=(aggressor,), refs_per_round=refs,
-            reset_state=True))
-        if 0 not in self._hit_groups(primed, groups):
+        prime_attempts = 3 if self._hardened else 1
+        for _ in range(prime_attempts):
+            primed = analyzer.run(ExperimentConfig(
+                aggressors=(aggressor,), refs_per_round=refs,
+                reset_state=True))
+            if 0 in self._hit_groups(primed, groups):
+                break
+        else:
             raise ExperimentError(
                 "persistence probe could not prime a TRR-induced refresh")
         # Watch: REF-only experiments, no hammering, no reset.
@@ -359,7 +529,7 @@ class TrrInference:
         return watch_hits > 0, {"watch_hits": watch_hits,
                                 "probes": config.persistence_probes}
 
-    # -- stage 5: detection kind (Obs A3 / B3) -------------------------------------
+    # -- stage 5: detection kind (Obs A3 / B3) --------------------------------
 
     def classify_detection(self, trr_period: int,
                            persists: bool) -> tuple[str, dict]:
@@ -385,7 +555,7 @@ class TrrInference:
         last = self._center_aggressor(groups[1], 3 * config.hammer_count)
         hits = {0: 0, 1: 0}
         for _ in range(config.kind_repeats):
-            result = analyzer.run(ExperimentConfig(
+            result = self._run(analyzer, ExperimentConfig(
                 aggressors=(first, last), hammer_mode=HammerMode.CASCADED,
                 refs_per_round=2 * trr_period, reset_state=True))
             for index in self._hit_groups(result, groups):
@@ -398,7 +568,7 @@ class TrrInference:
         raise ExperimentError(
             f"detection classification saw no TRR refreshes: {detail}")
 
-    # -- stage 6: aggressor capacity (Obs A4 / B4) ----------------------------------
+    # -- stage 6: aggressor capacity (Obs A4 / B4) ----------------------------
 
     def estimate_capacity(self, trr_period: int,
                           detection: str) -> tuple[int | str | None, dict]:
@@ -423,7 +593,7 @@ class TrrInference:
             refs = 2 * trr_period * max(n, 17)
             protected: set[int] = set()
             for _ in range(config.capacity_repeats):
-                result = analyzer.run(ExperimentConfig(
+                result = self._run(analyzer, ExperimentConfig(
                     aggressors=aggressors,
                     hammer_mode=HammerMode.CASCADED,
                     refs_per_round=refs, reset_state=True))
@@ -435,7 +605,7 @@ class TrrInference:
                 return capacity, detail
         return f">={capacity}", detail
 
-    # -- extensions: deeper probes of §6 details ----------------------------------
+    # -- extensions: deeper probes of §6 details ------------------------------
 
     def test_eviction_policy(self) -> tuple[str, dict]:
         """Obs A5, strengthened: min-counter vs FIFO eviction.
@@ -461,7 +631,7 @@ class TrrInference:
 
         def heavy_group_hit(aggressors) -> bool:
             for _ in range(config.kind_repeats):
-                result = analyzer.run(ExperimentConfig(
+                result = self._run(analyzer, ExperimentConfig(
                     aggressors=aggressors,
                     hammer_mode=HammerMode.CASCADED,
                     refs_per_round=refs, reset_state=True))
@@ -610,7 +780,7 @@ class TrrInference:
                 high = mid
         return low, {"trials_per_probe": trials, "kind": "lower-bound"}
 
-    # -- stage 7: per-bank state (Obs A4 / B4) ----------------------------------------
+    # -- stage 7: per-bank state (Obs A4 / B4) --------------------------------
 
     def test_per_bank(self, trr_period: int) -> tuple[bool, dict]:
         """Hammer bank A then bank B: shared state forgets bank A."""
@@ -624,7 +794,7 @@ class TrrInference:
         first_hits = 0
         second_hits = 0
         for _ in range(config.kind_repeats):
-            result = analyzer.run(ExperimentConfig(
+            result = self._run(analyzer, ExperimentConfig(
                 aggressors=(first, second),
                 hammer_mode=HammerMode.CASCADED,
                 refs_per_round=4 * trr_period, reset_state=True))
@@ -638,13 +808,44 @@ class TrrInference:
                 f"per-bank probe saw no TRR activity at all: {detail}")
         return first_hits > 0, detail
 
-    # -- the full run -----------------------------------------------------------------
+    # -- the full run ---------------------------------------------------------
+
+    def _stage(self, name: str, func, default, confidence: dict):
+        """Run one inference stage, degrading gracefully when configured.
+
+        With ``partial_on_failure`` a stage that raises an experiment or
+        profiling error contributes its *default* value tagged with
+        confidence 0.0 instead of aborting the run; the caller marks the
+        assembled profile ``partial``.  Without it the exception
+        propagates unchanged.
+        """
+        try:
+            value, detail = func()
+        except (ExperimentError, ProfilingError,
+                TransientFaultError) as exc:
+            if not self.config.partial_on_failure:
+                raise
+            self.stats.degraded_stages += 1
+            confidence[name] = 0.0
+            return default, {"degraded": type(exc).__name__,
+                             "error": str(exc)}
+        confidence[name] = 1.0
+        return value, detail
 
     def run(self) -> InferredTrrProfile:
-        """Execute every stage and assemble the Table 1 observations."""
+        """Execute every stage and assemble the Table 1 observations.
+
+        Mapping discovery and the refresh-cycle measurement are
+        foundational — every later stage needs them — so they always
+        propagate failures.  The observation stages degrade to tagged
+        defaults when ``partial_on_failure`` is set.
+        """
         discovery = self.mapping_discovery
         cycle = self.regular_refresh_cycle
-        ref_independent, ref_detail = self.test_ref_independence()
+        confidence: dict = {}
+        ref_independent, ref_detail = self._stage(
+            "ref_independence", self.test_ref_independence, False,
+            confidence)
         if ref_independent:
             return InferredTrrProfile(
                 mapping_scheme=discovery.scheme,
@@ -656,8 +857,10 @@ class TrrInference:
                 persists_without_activity=False,
                 aggressor_capacity=None, per_bank=None,
                 ref_independent=True,
-                details={"ref_independence": ref_detail})
-        period, period_detail = self.find_trr_period()
+                details={"ref_independence": ref_detail},
+                confidence=confidence)
+        period, period_detail = self._stage(
+            "period", self.find_trr_period, None, confidence)
         if period is None:
             return InferredTrrProfile(
                 mapping_scheme=discovery.scheme,
@@ -668,10 +871,18 @@ class TrrInference:
                 neighbors_refreshed=0,
                 persists_without_activity=False,
                 aggressor_capacity=None, per_bank=None,
-                details={"period": period_detail})
-        distances, neighbor_detail = self.find_refreshed_neighbors(period)
-        persists, persist_detail = self.test_state_persistence(period)
-        detection, kind_detail = self.classify_detection(period, persists)
+                details={"period": period_detail},
+                confidence=confidence,
+                partial=self.stats.degraded_stages > 0)
+        distances, neighbor_detail = self._stage(
+            "neighbors", lambda: self.find_refreshed_neighbors(period),
+            (), confidence)
+        persists, persist_detail = self._stage(
+            "persistence", lambda: self.test_state_persistence(period),
+            False, confidence)
+        detection, kind_detail = self._stage(
+            "detection", lambda: self.classify_detection(period, persists),
+            "unknown", confidence)
         if detection == "sampling" and not persists:
             # The watch probes' own init ACTs were sampled and displaced
             # the primed sample (see classify_detection); recency
@@ -679,10 +890,14 @@ class TrrInference:
             persists = True
             persist_detail["note"] = ("corrected: watch probes poisoned "
                                       "by their own sampled init ACTs")
-        capacity, capacity_detail = self.estimate_capacity(period, detection)
-        per_bank, bank_detail = self.test_per_bank(period)
+        capacity, capacity_detail = self._stage(
+            "capacity", lambda: self.estimate_capacity(period, detection),
+            None, confidence)
+        per_bank, bank_detail = self._stage(
+            "per_bank", lambda: self.test_per_bank(period), None,
+            confidence)
         if discovery.coupling is CouplingTopology.PAIRED:
-            neighbors = 1
+            neighbors = 1 if distances else 0
         else:
             neighbors = 2 * len(distances)
         return InferredTrrProfile(
@@ -701,4 +916,6 @@ class TrrInference:
                      "persistence": persist_detail,
                      "kind": kind_detail,
                      "capacity": capacity_detail,
-                     "per_bank": bank_detail})
+                     "per_bank": bank_detail},
+            confidence=confidence,
+            partial=self.stats.degraded_stages > 0)

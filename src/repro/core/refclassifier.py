@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dram.patterns import DataPattern
-from ..errors import ExperimentError
+from ..errors import ExperimentError, TransientFaultError
 from ..softmc import SoftMCHost
 
 
@@ -45,6 +45,13 @@ class RefreshSchedule:
     #: Extra slack applied on both sides when classifying (guards against
     #: measurement granularity).
     slack: int = 2
+    #: (bank, logical_row) -> fraction of confirmation probes agreeing
+    #: with the measured window (1.0 when no confirmation was requested).
+    confidence: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def confidence_for(self, bank: int, row: int) -> float:
+        """Calibration confidence for one row (1.0 when unmeasured)."""
+        return self.confidence.get((bank, row), 1.0)
 
     def may_cover(self, bank: int, row: int, ref_index: int) -> bool:
         """Could a regular refresh have covered *row* at *ref_index*?
@@ -158,12 +165,24 @@ class RefreshCalibrator:
     # -- public calibration API --------------------------------------------
 
     def find_cycle(self, bank: int, row: int, retention_ps: int,
-                   coarse_step: int = 64, max_cycle: int = 20_000) -> int:
+                   coarse_step: int = 64, max_cycle: int = 20_000,
+                   check_decay: bool = False) -> int:
         """Measure the regular-refresh cycle length in REF commands.
 
         Finds two consecutive exact covering REF indices of one profiled
         row; their distance is the cycle.
+
+        ``check_decay`` first verifies the row still decays with *no*
+        REFs issued.  A row whose retention drifted past its bucket (VRT
+        excursion, temperature drift, stale profile) survives every
+        probe and would measure an absurd cycle of 1; the pre-check
+        turns that into a :class:`~repro.errors.TransientFaultError` so
+        a hardened caller can try another profiled row.
         """
+        if check_decay and self.probe(bank, row, retention_ps, 0):
+            raise TransientFaultError(
+                f"row {row} (bank {bank}) no longer decays within its "
+                "retention bucket — unusable for cycle measurement")
         coarse = self._scan_for_coverage(bank, row, retention_ps,
                                          coarse_step, 2 * max_cycle)
         del coarse  # only needed to get near the phase
@@ -176,19 +195,51 @@ class RefreshCalibrator:
         cycle = second - first
         if cycle <= 0 or cycle > max_cycle:
             raise ExperimentError(f"implausible refresh cycle {cycle}")
+        if check_decay and cycle < coarse_step:
+            # Two back-to-back "coverings" this close mean the row went
+            # immortal mid-measurement, not that the cycle is tiny.
+            raise TransientFaultError(
+                f"row {row} (bank {bank}) measured cycle {cycle} < "
+                f"{coarse_step}: retention drifted mid-measurement")
         return cycle
 
     def calibrate_rows(self, rows: list[tuple[int, int]], retention_ps: int,
-                       cycle: int, window: int = 8) -> RefreshSchedule:
+                       cycle: int, window: int = 8,
+                       confirm_probes: int = 0,
+                       drop_uncovered: bool = False) -> RefreshSchedule:
         """Measure each row's phase to within *window* REFs.
 
         All rows must share the retention bucket *retention_ps* (Row
         Scout groups guarantee this).  One coarse pass assigns every row
         a cycle/32 chunk; a second pass narrows each to *window*.
+
+        ``confirm_probes`` re-probes each measured window that many extra
+        times (one refresh cycle apart) and records the agreement
+        fraction in :attr:`RefreshSchedule.confidence` — a noisy rig
+        shows up as a sub-1.0 confidence rather than a silently wrong
+        window.
+
+        ``drop_uncovered`` degrades gracefully when a row is never seen
+        covered (its retention drifted out of the bucket on a noisy
+        substrate): the row is left out of the schedule with confidence
+        0.0 — :meth:`RefreshSchedule.may_cover` then conservatively
+        reports it as always coverable, so its survivals are counted
+        inconclusive rather than misattributed to TRR.  Without the flag
+        an uncovered row raises :class:`~repro.errors.ExperimentError`.
         """
         host = self._host
         for bank, row in rows:
             self.protect(bank, [row])
+        if drop_uncovered:
+            # Immortal rows (retention drifted past the bucket) survive
+            # every probe and would be assigned an arbitrary first-chunk
+            # window; weed them out with one REF-free decay check so they
+            # are *dropped* (conservative) instead of miscalibrated.
+            immortal = [(bank, row) for bank, row in rows
+                        if self.probe(bank, row, retention_ps, 0)]
+            rows = [key for key in rows if key not in immortal]
+        else:
+            immortal = []
         coarse_step = max(cycle // 32, window)
         # Pass 1: probe all rows simultaneously, chunk by chunk.
         coarse_phase: dict[tuple[int, int], int] = {}
@@ -210,14 +261,21 @@ class RefreshCalibrator:
                     coarse_phase[(bank, row)] = chunk_start % cycle
             probed += coarse_step
         missing = [key for key in rows if tuple(key) not in coarse_phase]
+        schedule = RefreshSchedule(cycle_refs=cycle)
+        for bank, row in immortal:
+            schedule.confidence[(bank, row)] = 0.0
         if missing:
-            raise ExperimentError(
-                f"rows never covered by regular refresh: {missing}")
+            if not drop_uncovered:
+                raise ExperimentError(
+                    f"rows never covered by regular refresh: {missing}")
+            for bank, row in missing:
+                schedule.confidence[(bank, row)] = 0.0
         # Pass 2: narrow each row's chunk to `window` REFs, sweeping the
         # cycle once in phase order.
-        schedule = RefreshSchedule(cycle_refs=cycle)
-        ordered = sorted(rows, key=lambda key: (
-            (coarse_phase[tuple(key)] - host.ref_count) % cycle))
+        ordered = sorted((key for key in rows if tuple(key) in coarse_phase),
+                         key=lambda key: (
+                             (coarse_phase[tuple(key)] - host.ref_count)
+                             % cycle))
         for bank, row in ordered:
             target = coarse_phase[(bank, row)]
             # Position just before the row's coarse chunk (with margin).
@@ -231,7 +289,58 @@ class RefreshCalibrator:
                     found = chunk_start % cycle
                     break
             if found is None:
+                if drop_uncovered:
+                    schedule.confidence[(bank, row)] = 0.0
+                    continue
                 raise ExperimentError(
                     f"row {row} lost its coarse phase during refinement")
             schedule.phase_windows[(bank, row)] = (found, window)
+        if confirm_probes > 0:
+            for bank, row in ordered:
+                self._confirm(schedule, bank, row, retention_ps,
+                              confirm_probes)
         return schedule
+
+    def _confirm(self, schedule: RefreshSchedule, bank: int, row: int,
+                 retention_ps: int, probes: int) -> None:
+        """Re-probe a measured window *probes* times; record agreement."""
+        host = self._host
+        cycle = schedule.cycle_refs
+        start, width = schedule.phase_windows[(bank, row)]
+        agreed = 0
+        for _ in range(probes):
+            distance = (start - host.ref_count) % cycle
+            host.refresh(distance)
+            if self.probe(bank, row, retention_ps, width):
+                agreed += 1
+        schedule.confidence[(bank, row)] = agreed / probes
+
+    def recalibrate_row(self, schedule: RefreshSchedule, bank: int,
+                        row: int, retention_ps: int,
+                        window: int | None = None) -> tuple[int, int]:
+        """Re-measure one row's phase window in place.
+
+        The drifted-schedule repair: when TRR Analyzer flags a row as a
+        schedule suspect (it decayed although a supposedly covering REF
+        was issued), the inference driver calls this to sweep one refresh
+        cycle in *window*-sized probes and overwrite the stale entry.
+        Returns the new ``(phase_start, width)`` window.
+        """
+        host = self._host
+        cycle = schedule.cycle_refs
+        if window is None:
+            old = schedule.phase_windows.get((bank, row))
+            window = old[1] if old is not None else 8
+        self.protect(bank, [row])
+        probed = 0
+        while probed < 2 * cycle:
+            chunk_start = host.ref_count
+            if self.probe(bank, row, retention_ps, window):
+                entry = (chunk_start % cycle, window)
+                schedule.phase_windows[(bank, row)] = entry
+                schedule.confidence[(bank, row)] = 1.0
+                return entry
+            probed += window
+        raise ExperimentError(
+            f"row {row} (bank {bank}) found no covering REF during "
+            f"recalibration — broken refresh or wrong retention bucket?")

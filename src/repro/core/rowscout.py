@@ -16,17 +16,44 @@ The scan loop follows Fig. 6: scan the row range at T, form candidate
 groups from newly failing rows, escalate T when too few groups pass
 validation.  Escalation is geometric (T *= growth) so the bucket
 (T_prev, T] always satisfies T_prev >= T/2.
+
+Hardening against a noisy substrate
+-----------------------------------
+On real rigs the profiler must survive transient readback noise, VRT
+storms and flaky modules.  The hardened loop therefore supports:
+
+* **retry-with-escalation** — an inconsistent validation round is
+  re-probed ``round_retries`` times before it rejects the row.  Genuine
+  VRT excursions persist across the re-probe (the VRT state is sticky),
+  while one-shot read noise does not, so VRT rejection keeps the
+  paper's strictness;
+* **per-row flakiness scoring and quarantine** — rows that repeatedly
+  need retries accumulate a flakiness score; past
+  ``quarantine_after`` they enter a quarantine list and are never
+  considered again (not even in later scans or replacements);
+* **mid-run group replacement** — :meth:`RowScout.replace_group`
+  substitutes a group whose behaviour shifted under the analyzer,
+  re-scanning the same retention bucket;
+* **whole-scan retries** — ``scan_attempts`` full Fig. 6 escalations
+  run before giving up; :class:`~repro.errors.RetryExhaustedError`
+  (a :class:`~repro.errors.ProfilingError`) is raised only after every
+  retry budget is spent.
+
+All recovery work is counted in :attr:`RowScout.stats`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..dram.mapping import DirectMapping, RowMapping
 from ..dram.patterns import AllOnes, DataPattern
-from ..errors import ConfigError, ProfilingError
+from ..errors import ConfigError, RetryExhaustedError
 from ..softmc import SoftMCHost
 from ..units import ms
+from .resilience import RowScoutStats
 from .rowgroup import RowGroup, RowGroupLayout
 
 
@@ -49,6 +76,13 @@ class ProfilingConfig:
     #: group's aggressors (and their TRR-refresh blast radius) cannot
     #: touch another group's profiled rows.
     group_spacing: int = 8
+    #: Re-probes of an inconsistent validation round before it rejects
+    #: the row (0 = paper-strict: first inconsistency rejects).
+    round_retries: int = 0
+    #: Retried rounds before a row is quarantined outright.
+    quarantine_after: int = 3
+    #: Full Fig. 6 escalations to attempt before giving up.
+    scan_attempts: int = 1
 
     def __post_init__(self) -> None:
         if self.group_count < 1:
@@ -61,6 +95,12 @@ class ProfilingConfig:
             raise ConfigError("validation_rounds must be >= 1")
         if self.group_spacing < 0:
             raise ConfigError("group_spacing must be >= 0")
+        if self.round_retries < 0:
+            raise ConfigError("round_retries must be >= 0")
+        if self.quarantine_after < 1:
+            raise ConfigError("quarantine_after must be >= 1")
+        if self.scan_attempts < 1:
+            raise ConfigError("scan_attempts must be >= 1")
 
 
 class RowScout:
@@ -72,6 +112,35 @@ class RowScout:
         #: Logical<->physical mapping discovered by §5.3 reverse
         #: engineering (identity if the module needs none).
         self._mapping = mapping or DirectMapping(host.rows_per_bank)
+        #: Recovery-work counters (chaos harness reporting).
+        self.stats = RowScoutStats()
+        #: Physical rows banned from profiling, per bank.
+        self.quarantine: dict[int, set[int]] = {}
+        #: (bank, physical) -> retried-round count feeding the quarantine.
+        self.flaky_scores: dict[tuple[int, int], int] = {}
+
+    # -- quarantine bookkeeping ---------------------------------------------
+
+    def _is_quarantined(self, bank: int, physical_rows) -> bool:
+        banned = self.quarantine.get(bank)
+        if not banned:
+            return False
+        return any(row in banned for row in physical_rows)
+
+    def quarantine_row(self, bank: int, physical: int) -> None:
+        """Ban *physical* from all future profiling in *bank*."""
+        banned = self.quarantine.setdefault(bank, set())
+        if physical not in banned:
+            banned.add(physical)
+            self.stats.rows_quarantined += 1
+
+    def _note_flaky(self, bank: int, physical: int,
+                    config: ProfilingConfig) -> None:
+        key = (bank, physical)
+        score = self.flaky_scores.get(key, 0) + 1
+        self.flaky_scores[key] = score
+        if score >= config.quarantine_after:
+            self.quarantine_row(bank, physical)
 
     # -- scan pass -----------------------------------------------------------
 
@@ -79,6 +148,7 @@ class RowScout:
                            pattern: DataPattern, t_ps: int) -> set[int]:
         """One Fig. 6 step-1 pass: which physical rows fail within t_ps?"""
         host = self._host
+        self.stats.scan_passes += 1
         logical = [self._mapping.to_logical(p) for p in physical_rows]
         for row in logical:
             host.write_row(bank, row, pattern)
@@ -89,20 +159,48 @@ class RowScout:
                 failing.add(physical)
         return failing
 
-    def _validate_row(self, bank: int, physical: int, pattern: DataPattern,
-                      t_lo_ps: int, t_ps: int, rounds: int) -> bool:
-        """Fig. 6 step-4: the row must fail at T and retain at T_lo, every
-        round (rejects VRT rows)."""
+    # -- validation (Fig. 6 step 4, hardened) --------------------------------
+
+    def _probe_round(self, bank: int, logical: int, pattern: DataPattern,
+                     t_lo_ps: int, t_ps: int) -> bool:
+        """One consistency round: fail at T *and* retain at T_lo."""
         host = self._host
+        host.write_row(bank, logical, pattern)
+        host.wait(t_ps)
+        if not host.read_row_mismatches(bank, logical):
+            return False
+        host.write_row(bank, logical, pattern)
+        host.wait(t_lo_ps)
+        if host.read_row_mismatches(bank, logical):
+            return False
+        return True
+
+    def _validate_row(self, config: ProfilingConfig, bank: int,
+                      physical: int, t_lo_ps: int, t_ps: int) -> bool:
+        """The row must pass every consistency round (rejects VRT rows).
+
+        An inconsistent round is re-probed up to ``config.round_retries``
+        times: VRT state is sticky across observations so a genuine VRT
+        excursion is corroborated, while transient read noise is not.
+        """
         logical = self._mapping.to_logical(physical)
-        for _ in range(rounds):
-            host.write_row(bank, logical, pattern)
-            host.wait(t_ps)
-            if not host.read_row_mismatches(bank, logical):
-                return False
-            host.write_row(bank, logical, pattern)
-            host.wait(t_lo_ps)
-            if host.read_row_mismatches(bank, logical):
+        stats = self.stats
+        for _ in range(config.validation_rounds):
+            stats.rounds_validated += 1
+            if self._probe_round(bank, logical, config.pattern,
+                                 t_lo_ps, t_ps):
+                continue
+            for _ in range(config.round_retries):
+                stats.round_retries += 1
+                self._note_flaky(bank, physical, config)
+                if self._is_quarantined(bank, (physical,)):
+                    stats.rows_rejected += 1
+                    return False
+                if self._probe_round(bank, logical, config.pattern,
+                                     t_lo_ps, t_ps):
+                    break
+            else:
+                stats.rows_rejected += 1
                 return False
         return True
 
@@ -138,6 +236,10 @@ class RowScout:
         the victim rows of all banks must share one retention time so a
         single TRR-A experiment can cover them.  All configs must agree
         on pattern and escalation parameters.
+
+        Retries the whole escalation up to ``scan_attempts`` times (VRT
+        states and transient noise differ between passes) and raises
+        :class:`RetryExhaustedError` only once every attempt failed.
         """
         if not configs:
             raise ConfigError("need at least one profiling configuration")
@@ -160,6 +262,24 @@ class RowScout:
                 raise ConfigError(f"bad row range [{range_lo}, {range_hi})")
             ranges.append((range_lo, range_hi))
 
+        for attempt in range(reference.scan_attempts):
+            if attempt:
+                self.stats.scan_restarts += 1
+            results = self._escalate_once(configs, ranges, reference)
+            if results is not None:
+                return results
+        raise RetryExhaustedError(
+            "could not satisfy all profiling configurations in one bucket "
+            f"up to T={reference.max_t_ms} ms "
+            f"(after {reference.scan_attempts} scan attempt(s)): "
+            + ", ".join(f"bank {c.bank} needs {c.group_count} x "
+                        f"'{c.layout.notation}'" for c in configs))
+
+    def _escalate_once(self, configs: list[ProfilingConfig],
+                       ranges: list[tuple[int, int]],
+                       reference: ProfilingConfig
+                       ) -> list[list[RowGroup]] | None:
+        """One full Fig. 6 T escalation; None when the budget runs out."""
         t_lo_ps = 0
         t_ms_value = reference.initial_t_ms
         already_failing: list[set[int]] = [set() for _ in configs]
@@ -190,17 +310,14 @@ class RowScout:
                 already_failing = failing
             t_lo_ps = t_ps
             t_ms_value *= reference.growth
-        raise ProfilingError(
-            "could not satisfy all profiling configurations in one bucket "
-            f"up to T={reference.max_t_ms} ms: "
-            + ", ".join(f"bank {c.bank} needs {c.group_count} x "
-                        f"'{c.layout.notation}'" for c in configs))
+        return None
 
     def _form_groups(self, config: ProfilingConfig, bucket: set[int],
                      t_lo_ps: int, t_ps: int, range_lo: int,
-                     range_hi: int) -> list[RowGroup]:
+                     range_hi: int,
+                     used: set[int] | None = None) -> list[RowGroup]:
         groups: list[RowGroup] = []
-        used: set[int] = set()
+        used = set(used or ())
         for base in self._candidate_bases(config.layout, bucket,
                                           range_lo, range_hi):
             span_rows = range(base - config.group_spacing,
@@ -209,9 +326,10 @@ class RowScout:
             if any(row in used for row in span_rows):
                 continue
             rows = [base + off for off in config.layout.profiled_offsets]
-            if all(self._validate_row(config.bank, row, config.pattern,
-                                      t_lo_ps, t_ps,
-                                      config.validation_rounds)
+            if self._is_quarantined(config.bank, rows):
+                continue
+            if all(self._validate_row(config, config.bank, row,
+                                      t_lo_ps, t_ps)
                    for row in rows):
                 groups.append(RowGroup(
                     bank=config.bank,
@@ -223,7 +341,48 @@ class RowScout:
                     retention_lo_ps=t_lo_ps,
                     pattern=config.pattern,
                 ))
+                self.stats.groups_formed += 1
                 used.update(span_rows)
                 if len(groups) >= config.group_count:
                     break
         return groups
+
+    # -- mid-run group replacement --------------------------------------------
+
+    def replace_group(self, config: ProfilingConfig, bad_group: RowGroup,
+                      keep: Iterable[RowGroup] = ()) -> RowGroup:
+        """Find a substitute for a group whose behaviour shifted mid-run.
+
+        The bad group's profiled rows are quarantined, its retention
+        bucket is re-scanned (two passes: failing at T minus failing at
+        T_lo reconstructs the bucket without the original escalation
+        history), and a fresh group is validated clear of every group in
+        *keep*.  Raises :class:`RetryExhaustedError` when the bucket has
+        no replacement to offer.
+        """
+        for physical in bad_group.physical_rows:
+            self.quarantine_row(bad_group.bank, physical)
+        range_lo, range_hi = config.row_range or (0,
+                                                  self._host.rows_per_bank)
+        rows = list(range(range_lo, range_hi))
+        t_ps = bad_group.retention_ps
+        t_lo_ps = bad_group.retention_lo_ps
+        failing_hi = self._scan_failing_rows(bad_group.bank, rows,
+                                             config.pattern, t_ps)
+        failing_lo = self._scan_failing_rows(bad_group.bank, rows,
+                                             config.pattern, t_lo_ps)
+        bucket = failing_hi - failing_lo
+        used: set[int] = set()
+        for group in (*keep, bad_group):
+            used.update(range(group.base_physical - config.group_spacing,
+                              group.base_physical + group.layout.span
+                              + config.group_spacing))
+        replacement = self._form_groups(
+            dataclasses.replace(config, group_count=1), bucket,
+            t_lo_ps, t_ps, range_lo, range_hi, used=used)
+        if not replacement:
+            raise RetryExhaustedError(
+                f"no replacement group available in bank {bad_group.bank}'s "
+                f"bucket ({t_lo_ps}, {t_ps}] ps")
+        self.stats.groups_replaced += 1
+        return replacement[0]

@@ -16,20 +16,33 @@ One experiment follows the paper's three steps:
    window, otherwise by a **TRR-induced refresh**.
 
 The analyzer never touches the chip beyond the SoftMC host interface.
+
+Hardening against a noisy substrate
+-----------------------------------
+:meth:`TrrAnalyzer.run_robust` repeats an experiment and majority-votes
+every row observation, rejecting round-level outliers (transient read
+noise, a dropped init write).  Groups whose flip behaviour is split
+across the votes are automatically re-validated against their retention
+bucket; a failed re-validation marks the group unstable so the caller
+can replace it (``RowScout.replace_group``).  Rows that decay although
+a schedule-covering REF was issued are tracked as *schedule suspects* —
+the recalibration trigger for a drifted refresh-phase calibration.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..dram.commands import HammerMode
 from ..dram.mapping import DirectMapping, RowMapping
 from ..dram.patterns import AllZeros, DataPattern
 from ..errors import ConfigError
-from ..dram.commands import HammerMode
 from ..softmc import SoftMCHost
 from .refclassifier import RefreshSchedule
+from .resilience import AnalyzerStats
 from .rowgroup import RowGroup
 
 
@@ -88,6 +101,9 @@ class RowObservation:
     #: True when one of the experiment's REFs falls into the row's
     #: calibrated regular-refresh window: survival is then inconclusive.
     regular_possible: bool
+    #: Fraction of majority-vote rounds agreeing with this consensus
+    #: (1.0 for single-run experiments).
+    confidence: float = 1.0
 
     @property
     def trr_refreshed(self) -> bool:
@@ -106,6 +122,13 @@ class ExperimentResult:
     observations: list[RowObservation]
     ref_indices: list[int]
     dummy_rows: dict[int, list[int]] = field(default_factory=dict)
+    #: Majority-vote rounds this result aggregates (1 = single run).
+    votes: int = 1
+    #: Individual per-round observations overruled by the majority.
+    outliers: int = 0
+    #: Indices (into the analyzer's group list) of groups whose flip
+    #: behaviour was split across votes *and* failed re-validation.
+    unstable_groups: tuple[int, ...] = ()
 
     def by_row(self) -> dict[tuple[int, int], RowObservation]:
         return {(obs.bank, obs.logical_row): obs
@@ -133,7 +156,8 @@ class TrrAnalyzer:
 
     def __init__(self, host: SoftMCHost, groups: list[RowGroup],
                  schedule: RefreshSchedule | None = None,
-                 mapping: RowMapping | None = None, seed: int = 0) -> None:
+                 mapping: RowMapping | None = None, seed: int = 0,
+                 stats: AnalyzerStats | None = None) -> None:
         if not groups:
             raise ConfigError("TrrAnalyzer needs at least one row group")
         retention = {group.retention_ps for group in groups}
@@ -155,6 +179,19 @@ class TrrAnalyzer:
         self.schedule = schedule
         self._mapping = mapping or DirectMapping(host.rows_per_bank)
         self._rng = np.random.default_rng(seed)
+        #: Recovery-work counters; pass a shared instance to aggregate
+        #: across the many analyzers one inference run creates.
+        self.stats = stats if stats is not None else AnalyzerStats()
+        #: (bank, logical) -> count of flipped-despite-covering-REF
+        #: surprises (the refresh-schedule staleness signal).
+        self.schedule_suspects: dict[tuple[int, int], int] = {}
+        #: Verify every apparent TRR hit with a zero-REF decay probe
+        #: before trusting it.  A row whose effective retention drifted
+        #: past its bucket (temperature swing, stale profile) survives
+        #: *every* experiment and would otherwise read as a TRR refresh
+        #: at every stride; the probe catches it because a genuinely
+        #: TRR-saved row still decays by T when nothing refreshes it.
+        self.verify_hits = False
 
     # -- dummy rows (Requirement 2) -----------------------------------------
 
@@ -215,7 +252,7 @@ class TrrAnalyzer:
                     HammerMode.CASCADED)
             self._host.refresh(refs_per_round)
 
-    # -- the experiment (Fig. 7) -----------------------------------------------
+    # -- the experiment (Fig. 7) ----------------------------------------------
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         host = self._host
@@ -268,13 +305,142 @@ class TrrAnalyzer:
                 flipped = bool(host.read_row_mismatches(group.bank, logical))
                 regular = self._regular_possible(group.bank, logical,
                                                  ref_indices)
+                if flipped and regular:
+                    # The schedule says a REF should have covered this
+                    # row, yet it decayed: either the phase window is
+                    # stale or the rig lost the REF.  Either way the
+                    # calibration deserves a second look.
+                    key = (group.bank, logical)
+                    self.schedule_suspects[key] = (
+                        self.schedule_suspects.get(key, 0) + 1)
+                    self.stats.schedule_violations += 1
                 observations.append(RowObservation(
                     bank=group.bank, logical_row=logical,
                     physical_row=physical, flipped=flipped,
                     regular_possible=regular))
+        if self.verify_hits:
+            observations = self._verify_hits(observations)
+        self.stats.experiments += 1
         return ExperimentResult(observations=observations,
                                 ref_indices=ref_indices,
                                 dummy_rows=dummies)
+
+    def _verify_hits(self, observations: list[RowObservation]
+                     ) -> list[RowObservation]:
+        """Re-probe apparent TRR hits: the row must decay with zero REFs.
+
+        All suspect rows are probed in one batch (one extra T wait per
+        experiment at most).  A row that fails to decay is no longer in
+        its retention bucket, so its survival is disavowed — reported as
+        inconclusive rather than as a (phantom) TRR-induced refresh.
+        """
+        suspects = [obs for obs in observations if obs.trr_refreshed]
+        if not suspects:
+            return observations
+        host = self._host
+        patterns = {(group.bank, logical): group.pattern
+                    for group in self.groups
+                    for logical in group.logical_rows}
+        for obs in suspects:
+            host.write_row(obs.bank, obs.logical_row,
+                           patterns[(obs.bank, obs.logical_row)])
+        host.wait(self.retention_ps)
+        verified = []
+        for obs in observations:
+            if obs.trr_refreshed and not host.read_row_mismatches(
+                    obs.bank, obs.logical_row):
+                self.stats.hits_disavowed += 1
+                obs = dataclasses.replace(obs, regular_possible=True,
+                                          confidence=0.0)
+            verified.append(obs)
+        return verified
+
+    # -- robust execution (majority vote + re-validation) ---------------------
+
+    def run_robust(self, config: ExperimentConfig, votes: int = 3,
+                   revalidate: bool = True) -> ExperimentResult:
+        """Run the experiment *votes* times and majority-vote every row.
+
+        Round-level outliers (one run disagreeing with the consensus on
+        a row's flip or regular-refresh attribution) are rejected; each
+        consensus observation carries the agreement fraction as its
+        ``confidence``.  Groups whose flip votes are split are
+        re-validated against their retention bucket and reported in
+        ``unstable_groups`` when the re-validation fails — the caller's
+        cue to replace them (``RowScout.replace_group``).
+
+        Only ``reset_state`` experiments may be repeated: a stateful
+        probe (``reset_state=False``) would measure a different TRR
+        state on every vote.
+        """
+        if votes <= 1:
+            return self.run(config)
+        if not config.reset_state:
+            raise ConfigError(
+                "run_robust needs reset_state=True: a stateful probe "
+                "cannot be repeated without changing what it measures")
+        runs = [self.run(config) for _ in range(votes)]
+        self.stats.vote_rounds += votes - 1
+        consensus: list[RowObservation] = []
+        outliers = 0
+        split_rows: set[tuple[int, int]] = set()
+        for index, base in enumerate(runs[0].observations):
+            flips = [run.observations[index].flipped for run in runs]
+            regulars = [run.observations[index].regular_possible
+                        for run in runs]
+            flipped = sum(flips) * 2 > votes
+            regular = sum(regulars) * 2 > votes
+            agree = (sum(1 for f in flips if f == flipped)
+                     + sum(1 for r in regulars if r == regular))
+            disagreeing_flips = sum(1 for f in flips if f != flipped)
+            outliers += disagreeing_flips
+            if disagreeing_flips:
+                split_rows.add((base.bank, base.logical_row))
+            consensus.append(RowObservation(
+                bank=base.bank, logical_row=base.logical_row,
+                physical_row=base.physical_row, flipped=flipped,
+                regular_possible=regular,
+                confidence=agree / (2 * votes)))
+        self.stats.outliers_rejected += outliers
+        unstable: list[int] = []
+        if revalidate and split_rows:
+            for group_index, group in enumerate(self.groups):
+                if not any((group.bank, logical) in split_rows
+                           for logical in group.logical_rows):
+                    continue
+                if not self.revalidate_group(group):
+                    unstable.append(group_index)
+        return ExperimentResult(observations=consensus,
+                                ref_indices=runs[-1].ref_indices,
+                                dummy_rows=runs[-1].dummy_rows,
+                                votes=votes, outliers=outliers,
+                                unstable_groups=tuple(unstable))
+
+    def revalidate_group(self, group: RowGroup, rounds: int = 2) -> bool:
+        """Re-check that every profiled row still sits in its bucket.
+
+        The same write/wait/read consistency round Row Scout validated
+        with: fail by T, retain past T_lo.  A row whose retention
+        wandered (VRT excursion, temperature shift, profile staleness)
+        fails, telling the caller the group's observations can no longer
+        be trusted.
+        """
+        host = self._host
+        self.stats.groups_revalidated += 1
+        for _ in range(rounds):
+            for logical in group.logical_rows:
+                host.write_row(group.bank, logical, group.pattern)
+            host.wait(self.retention_ps)
+            for logical in group.logical_rows:
+                if not host.read_row_mismatches(group.bank, logical):
+                    return False
+            for logical in group.logical_rows:
+                host.write_row(group.bank, logical, group.pattern)
+            host.wait(group.retention_lo_ps)
+            for logical in group.logical_rows:
+                if host.read_row_mismatches(group.bank, logical):
+                    return False
+        return True
 
     def _hammer_dummies(self, dummies: dict[int, list[int]],
                         config: ExperimentConfig) -> None:
@@ -338,7 +504,7 @@ class TrrAnalyzer:
         return any(self.schedule.may_cover(bank, logical, index)
                    for index in ref_indices)
 
-    # -- hammer-safety pre-check (§5.3, second method) --------------------------
+    # -- hammer-safety pre-check (§5.3, second method) ------------------------
 
     def verify_hammer_count_harmless(self, config: ExperimentConfig) -> bool:
         """Check that the configured hammer counts alone (no REFs) do not

@@ -7,6 +7,7 @@ configuration dataclasses; everything else is internal physics.
 from .chip import DeviceConfig, DramChip
 from .commands import ActBatch, HammerMode, single_row_batch
 from .disturbance import DisturbanceConfig
+from .environment import ChipEnvironment
 from .mapping import (BitSwapMapping, DirectMapping, RowMapping,
                       XorScrambleMapping, available_schemes, make_mapping)
 from .patterns import (AllOnes, AllZeros, ByteFill, Checkerboard,
@@ -22,6 +23,7 @@ __all__ = [
     "BitSwapMapping",
     "ByteFill",
     "Checkerboard",
+    "ChipEnvironment",
     "CustomPattern",
     "DDR4_DEFAULT",
     "DataPattern",

@@ -22,6 +22,7 @@ from ..rng import SeedSequenceFactory
 from .commands import ActBatch
 from .disturbance import (DisturbanceConfig, RowHammerProfile,
                           generate_hammer_profile)
+from .environment import ChipEnvironment
 from .patterns import AllZeros, DataPattern
 from .refresh import RefreshEngine
 from .retention import (RetentionConfig, RowRetentionProfile,
@@ -64,10 +65,14 @@ class Bank:
                  retention_config: RetentionConfig,
                  disturbance_config: DisturbanceConfig,
                  seeds: SeedSequenceFactory,
-                 refresh_engine: RefreshEngine) -> None:
+                 refresh_engine: RefreshEngine,
+                 environment: ChipEnvironment | None = None) -> None:
         if num_rows <= 0 or row_bits <= 0:
             raise ConfigError("num_rows and row_bits must be positive")
         self.index = index
+        #: Shared physical environment (fault injection's physics seam);
+        #: ``None`` behaves exactly like a neutral environment.
+        self.environment = environment
         self.num_rows = num_rows
         self.row_bits = row_bits
         self.retention_config = retention_config
@@ -121,11 +126,17 @@ class Bank:
         """Commit pending retention decay and hammer flips into the row."""
         state = self.state(row)
         profile = self._retention(row, state)
+        environment = self.environment
         if len(profile):
-            profile.toggle_vrt(
-                self._vrt_rng,
-                self.retention_config.vrt_toggle_probability)
+            toggle_probability = self.retention_config.vrt_toggle_probability
+            if environment is not None:
+                toggle_probability = environment.toggle_probability(
+                    toggle_probability)
+            profile.toggle_vrt(self._vrt_rng, toggle_probability)
             elapsed = now_ps - state.last_recharge_ps
+            if environment is not None and elapsed > 0:
+                elapsed = environment.effective_elapsed(self.index, row,
+                                                        elapsed)
             if elapsed > 0:
                 stored = state.stored_bits_at(profile.positions)
                 for cell in profile.failed_cells(elapsed, stored):

@@ -21,6 +21,7 @@ from ..units import NOMINAL_REFS_PER_WINDOW
 from .bank import Bank
 from .commands import ActBatch, HammerMode
 from .disturbance import DisturbanceConfig
+from .environment import ChipEnvironment
 from .mapping import RowMapping, make_mapping
 from .patterns import DataPattern
 from .refresh import RefreshEngine
@@ -88,10 +89,13 @@ class DramChip:
             config.rows_per_bank, config.refresh_cycle_refs)
         self.mapping: RowMapping = make_mapping(
             config.mapping_scheme, config.rows_per_bank)
+        #: Physical environment seam for fault injection; neutral (and a
+        #: strict no-op) unless a FaultInjector drives it.
+        self.environment = ChipEnvironment()
         self.banks = [
             Bank(index, config.rows_per_bank, config.row_bits,
                  config.retention, config.disturbance, self._seeds,
-                 self.refresh_engine)
+                 self.refresh_engine, environment=self.environment)
             for index in range(config.num_banks)
         ]
         self.trr = trr if trr is not None else NoTrr()
@@ -108,7 +112,7 @@ class DramChip:
             raise ConfigError("cannot wait a negative duration")
         self.now_ps += duration_ps
 
-    # -- internal helpers ------------------------------------------------------
+    # -- internal helpers -----------------------------------------------------
 
     def _bank(self, bank: int) -> Bank:
         try:
@@ -252,7 +256,7 @@ class DramChip:
             self.stats.trr_refreshes += 1
         self.stats.refreshes += 1
 
-    # -- ground truth (tests / evaluation reporting only) ----------------------
+    # -- ground truth (tests / evaluation reporting only) ---------------------
 
     def true_retention_ps(self, bank: int, logical_row: int,
                           pattern: DataPattern) -> int:

@@ -1,0 +1,65 @@
+"""Mutable physical environment of a chip (temperature, VRT activity).
+
+Real modules do not sit in a vacuum: ambient temperature drifts over an
+experiment (scaling every cell's retention time), and VRT activity comes
+in bursts.  :class:`ChipEnvironment` is the seam through which the fault
+-injection layer (:mod:`repro.faults`) perturbs the retention physics
+without the banks or the host knowing who is driving it.
+
+The neutral environment (all scales 1.0, no per-row override) is a
+strict no-op: every code path returns its input unchanged, so a chip
+without fault injection behaves bit-identically to one built before this
+module existed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class ChipEnvironment:
+    """Current environmental state, consulted by banks at settle time."""
+
+    __slots__ = ("vrt_toggle_scale", "retention_scale", "row_retention_scale")
+
+    def __init__(self) -> None:
+        #: Multiplier on every VRT cell's per-observation toggle
+        #: probability (VRT storms raise it far above 1).
+        self.vrt_toggle_scale: float = 1.0
+        #: Global retention-time multiplier (temperature: >1 = cooler,
+        #: cells retain longer; <1 = hotter, cells decay faster).
+        self.retention_scale: float = 1.0
+        #: Optional per-row retention multiplier ``(bank, row) -> float``
+        #: (cross-session profile staleness).  ``None`` = no override.
+        self.row_retention_scale: Callable[[int, int], float] | None = None
+
+    def reset(self) -> None:
+        self.vrt_toggle_scale = 1.0
+        self.retention_scale = 1.0
+        self.row_retention_scale = None
+
+    @property
+    def neutral(self) -> bool:
+        return (self.vrt_toggle_scale == 1.0
+                and self.retention_scale == 1.0
+                and self.row_retention_scale is None)
+
+    def toggle_probability(self, base: float) -> float:
+        """Effective VRT toggle probability under the current environment."""
+        if self.vrt_toggle_scale == 1.0:
+            return base
+        return min(base * self.vrt_toggle_scale, 1.0)
+
+    def effective_elapsed(self, bank: int, row: int, elapsed_ps: int) -> int:
+        """Unrefreshed time as the retention model should see it.
+
+        Scaling the elapsed time down by the retention scale is exactly
+        equivalent to scaling every cell's retention time up, without
+        touching the (immutable, seeded) per-row profiles.
+        """
+        scale = self.retention_scale
+        if self.row_retention_scale is not None:
+            scale *= self.row_retention_scale(bank, row)
+        if scale == 1.0:
+            return elapsed_ps
+        return int(elapsed_ps / scale)

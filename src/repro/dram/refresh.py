@@ -66,7 +66,7 @@ class RefreshEngine:
         return slot
 
     def last_regular_refresh_ps(self, row: int) -> int:
-        """Wall time of the most recent regular refresh of *row* (0 = epoch)."""
+        """Wall time of the last regular refresh of *row* (0 = epoch)."""
         return int(self._slot_times[self.slot_of(row)])
 
     def refs_until_row(self, row: int) -> int:

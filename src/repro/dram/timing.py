@@ -28,7 +28,7 @@ class TimingParameters:
     trcd_ps: int = ns(14.0)   #: ACT to first RD/WR
     trfc_ps: int = ns(350.0)  #: REF execution time
     trefi_ps: int = us(7.8)   #: controller REF cadence
-    tfaw_ps: int = ns(160.0)  #: four-activation window (cross-bank ACT throttle)
+    tfaw_ps: int = ns(160.0)  #: four-activation window (ACT throttle)
     trrd_ps: int = ns(5.3)    #: ACT to ACT, different banks
     burst_read_ps: int = ns(500.0)   #: full-row readout through the row buffer
     burst_write_ps: int = ns(500.0)  #: full-row write through the row buffer
@@ -54,7 +54,7 @@ class TimingParameters:
         return (self.trefi_ps - self.trfc_ps) // self.trc_ps
 
     def hammer_duration_ps(self, count: int) -> int:
-        """Virtual time consumed by *count* back-to-back single-bank hammers."""
+        """Virtual time taken by *count* back-to-back one-bank hammers."""
         if count < 0:
             raise ConfigError("hammer count must be non-negative")
         return count * self.trc_ps

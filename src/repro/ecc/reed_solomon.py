@@ -61,7 +61,7 @@ class ReedSolomon:
                                                     factor)
         return list(data) + buffer[self.k:]
 
-    # -- decoding --------------------------------------------------------------
+    # -- decoding -------------------------------------------------------------
 
     def _syndromes(self, received: list[int]) -> list[int]:
         # Treat received[0] as the highest-degree coefficient.

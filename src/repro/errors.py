@@ -32,6 +32,25 @@ class ProfilingError(ReproError):
     """Row Scout could not satisfy the requested profiling configuration."""
 
 
+class TransientFaultError(ReproError):
+    """A recoverable fault (noise, dropped command, VRT excursion) was
+    detected mid-operation.
+
+    Raised by hardened pipeline stages when an observation is too noisy
+    to use but retrying is expected to succeed.  Callers that cannot
+    retry should treat it as the hard failure of their enclosing stage.
+    """
+
+
+class RetryExhaustedError(ProfilingError):
+    """A retry/escalation loop ran out of budget without a clean result.
+
+    Subclasses :class:`ProfilingError` so legacy callers that catch the
+    hard profiling failure keep working; new callers can distinguish
+    "never possible" from "possible but the substrate was too noisy".
+    """
+
+
 class ExperimentError(ReproError):
     """A TRR Analyzer experiment was configured or executed incorrectly."""
 

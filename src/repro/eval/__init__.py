@@ -6,6 +6,9 @@ from .fig8 import Fig8Result, run_fig8
 from .fig9 import REPRESENTATIVE_MODULES, Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
 from .report import format_pct, render_histogram, render_series, render_table
+from .resilience import (RESILIENCE_MODULES, ModuleResilience,
+                         ResilienceReport, hardened_inference_config,
+                         run_module_resilience, run_resilience)
 from .runner import ModuleEvaluation, evaluate_baseline, evaluate_module
 from .scale import QUICK, STANDARD, EvalScale, get_scale
 from .survey import ModuleSurvey, SurveyResult, run_survey
@@ -18,10 +21,13 @@ __all__ = [
     "Fig9Result",
     "Fig10Result",
     "ModuleEvaluation",
+    "ModuleResilience",
     "ModuleSurvey",
+    "ResilienceReport",
     "SurveyResult",
     "QUICK",
     "REPRESENTATIVE_MODULES",
+    "RESILIENCE_MODULES",
     "STANDARD",
     "TABLE1_REPRESENTATIVES",
     "Table1Result",
@@ -29,6 +35,7 @@ __all__ = [
     "evaluate_module",
     "format_pct",
     "get_scale",
+    "hardened_inference_config",
     "render_histogram",
     "render_series",
     "render_table",
@@ -39,6 +46,8 @@ __all__ = [
     "run_fig10",
     "run_hammer_mode_ablation",
     "run_mitigation_ablation",
+    "run_module_resilience",
+    "run_resilience",
     "run_survey",
     "run_table1",
     "run_table1_module",

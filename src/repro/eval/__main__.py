@@ -1,8 +1,10 @@
 """Command-line entry point: ``python -m repro.eval <artifact>``.
 
-Artifacts: table1, fig8, fig9, fig10, ablations.  ``--modules`` selects
-specific Table 1 modules (default: one representative per TRR version;
-pass ``--modules all`` for the full 45-module run).
+Artifacts: table1, fig8, fig9, fig10, ablations, survey, resilience.
+``--modules`` selects specific Table 1 modules (default: one
+representative per TRR version; pass ``--modules all`` for the full
+45-module run).  ``resilience`` runs the chaos harness: hardened
+inference under injected faults (``--faults`` picks the fault profile).
 """
 
 from __future__ import annotations
@@ -31,16 +33,24 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.eval")
     parser.add_argument("artifact",
                         choices=["table1", "fig8", "fig9", "fig10",
-                                 "ablations", "survey"])
+                                 "ablations", "survey", "resilience"])
     parser.add_argument("--modules", default=None,
                         help="comma-separated module ids, or 'all'")
     parser.add_argument("--scale", default="standard",
                         choices=["standard", "quick"])
+    parser.add_argument("--faults", default="default",
+                        help="fault profile for the resilience artifact")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
 
     started = time.time()
-    if args.artifact == "survey":
+    if args.artifact == "resilience":
+        from .resilience import RESILIENCE_MODULES, run_resilience
+        result = run_resilience(_module_ids(args.modules,
+                                            RESILIENCE_MODULES),
+                                fault_profile=args.faults)
+        print(result.render())
+    elif args.artifact == "survey":
         from .survey import run_survey
         result = run_survey(_module_ids(args.modules,
                                         TABLE1_REPRESENTATIVES), scale)

@@ -53,7 +53,7 @@ class Fig10Result:
              "Chipkill beyond guarantee", "max flips/word"],
             summary_rows, title="ECC outcomes (7.4)"))
         sections.append(
-            f"Reed-Solomon parity symbols needed to detect the worst "
+            "Reed-Solomon parity symbols needed to detect the worst "
             f"word ({worst} flips): "
             f"{required_rs_parity_symbols(worst)}")
         return "\n\n".join(sections)

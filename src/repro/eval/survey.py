@@ -31,16 +31,16 @@ class ModuleSurvey:
             "",
             f"* implanted TRR version: {spec.trr_version.value}",
             f"* recovered profile:     {profile.summary()}",
-            f"* ground truth match:    "
+            "* ground truth match:    "
             f"{'yes' if self.row.ground_truth_matches() else 'NO'}",
             f"* HC_first (measured):   {self.row.measured_hc_first:,}",
             f"* best attack:           {evaluation.pattern_name} "
             f"({evaluation.hammers_per_aggressor_per_ref:.1f} "
             "hammers/aggr/REF)",
-            f"* vulnerable rows:       "
+            "* vulnerable rows:       "
             f"{format_pct(evaluation.vulnerable_fraction)}",
             f"* max flips per row:     {evaluation.max_flips_per_row}",
-            f"* SECDED silently defeated words: "
+            "* SECDED silently defeated words: "
             f"{assessment.secded_defeated} of {assessment.words_total}",
             "",
             render_histogram("8-byte datawords by flip count",

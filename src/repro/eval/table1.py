@@ -9,7 +9,6 @@ implanted ground truth and the paper's reported values.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 
 from ..attacks import measure_hc_first

@@ -1,0 +1,38 @@
+"""Fault injection: a seeded noisy-substrate layer for chaos testing.
+
+The U-TRR methodology only works on real hardware because it survives a
+noisy substrate (VRT, drifting retention, flaky modules — §4.1).  This
+package makes the simulator equally hostile on demand: a
+:class:`FaultInjector`, configured by a named :class:`FaultProfile`,
+wraps the SoftMC/chip boundary and injects exactly the perturbations
+real rigs suffer.  ``repro.eval.resilience`` drives the full pipeline
+under these profiles and reports the retry/quarantine work the hardened
+tools performed.
+
+Attach via the host::
+
+    injector = FaultInjector("default", seed=7)
+    host = SoftMCHost(chip, faults=injector)
+
+With no injector (or the ``"none"`` profile) every code path is a
+strict no-op and the simulator behaves bit-identically to before.
+"""
+
+from .injector import FaultInjector
+from .profiles import (COMMAND_FAULTS, DEFAULT, NONE, PROFILES, READ_NOISE,
+                       STALE_PROFILE, TEMPERATURE_DRIFT, VRT_STORM,
+                       FaultProfile, get_profile)
+
+__all__ = [
+    "COMMAND_FAULTS",
+    "DEFAULT",
+    "FaultInjector",
+    "FaultProfile",
+    "NONE",
+    "PROFILES",
+    "READ_NOISE",
+    "STALE_PROFILE",
+    "TEMPERATURE_DRIFT",
+    "VRT_STORM",
+    "get_profile",
+]

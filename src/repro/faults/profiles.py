@@ -1,0 +1,155 @@
+"""Fault profiles: named, declarative descriptions of substrate noise.
+
+A :class:`FaultProfile` bundles the intensities of every fault family
+the injector knows how to produce.  The zero profile (``NONE``) disables
+everything and is guaranteed to be a strict no-op; ``DEFAULT`` is the
+"representative noisy rig" used by the chaos harness and is calibrated
+so the hardened U-TRR pipeline still recovers exact ground truth while
+its retry/quarantine machinery is demonstrably exercised.
+
+Fault families (what real SoftMC rigs suffer, §4.1 / TRRespass §V):
+
+* **VRT storms** — burst periods during which VRT cells toggle their
+  retention state far more often than the quiescent rate.
+* **Temperature drift** — slow sinusoidal ambient change scaling every
+  cell's retention time mid-experiment.
+* **Readback noise** — transient single-bit corruption on the data the
+  host reads back (the stored cell is unaffected).
+* **Command faults** — occasional dropped writes/REFs and duplicated
+  hammer batches at the host/module boundary.
+* **Retention-profile staleness** — a per-row, session-scoped retention
+  shift: the profile measured last session is slightly wrong now.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Intensities for every injectable fault family (all off by zero)."""
+
+    name: str = "custom"
+
+    # -- VRT storms --------------------------------------------------------
+    #: Mean storm arrivals per simulated second (Poisson process).
+    vrt_storm_rate_per_s: float = 0.0
+    #: Mean storm duration (exponential), in simulated milliseconds.
+    vrt_storm_duration_ms: float = 120.0
+    #: Multiplier on ``vrt_toggle_probability`` while a storm is active.
+    vrt_storm_toggle_scale: float = 20.0
+
+    # -- temperature drift -------------------------------------------------
+    #: Peak deviation from the reference temperature, in degrees C.
+    temperature_drift_amplitude_c: float = 0.0
+    #: Sinusoid period in simulated seconds (slow vs experiment scale).
+    temperature_drift_period_s: float = 20.0
+
+    # -- transient readback noise ------------------------------------------
+    #: Per-read probability that one random readout bit is corrupted.
+    read_noise_probability: float = 0.0
+
+    # -- command-layer faults ----------------------------------------------
+    #: Per-write probability the WRITE never reaches the module.
+    write_drop_probability: float = 0.0
+    #: Per-REF probability the chip misses the REF (host still counts it).
+    ref_drop_probability: float = 0.0
+    #: Per-REF probability the chip executes the REF twice.
+    ref_duplicate_probability: float = 0.0
+    #: Per-batch probability a hammer batch is executed twice.
+    hammer_duplicate_probability: float = 0.0
+
+    # -- cross-session retention staleness ---------------------------------
+    #: Fraction of rows whose retention drifted since last session.
+    stale_row_fraction: float = 0.0
+    #: Multiplicative retention shift range for stale rows (log-uniform).
+    stale_scale_range: tuple[float, float] = (0.8, 1.25)
+
+    def __post_init__(self) -> None:
+        probabilities = (self.read_noise_probability,
+                         self.write_drop_probability,
+                         self.ref_drop_probability,
+                         self.ref_duplicate_probability,
+                         self.hammer_duplicate_probability,
+                         self.stale_row_fraction)
+        if any(not 0.0 <= p <= 1.0 for p in probabilities):
+            raise ConfigError("fault probabilities must be in [0, 1]")
+        if self.vrt_storm_rate_per_s < 0:
+            raise ConfigError("vrt_storm_rate_per_s must be >= 0")
+        if self.vrt_storm_duration_ms <= 0:
+            raise ConfigError("vrt_storm_duration_ms must be positive")
+        if self.vrt_storm_toggle_scale < 1.0:
+            raise ConfigError("vrt_storm_toggle_scale must be >= 1")
+        if self.temperature_drift_amplitude_c < 0:
+            raise ConfigError("drift amplitude must be >= 0")
+        if self.temperature_drift_period_s <= 0:
+            raise ConfigError("drift period must be positive")
+        low, high = self.stale_scale_range
+        if not 0 < low <= high:
+            raise ConfigError("stale_scale_range must satisfy 0 < low <= high")
+
+    @property
+    def enabled(self) -> bool:
+        """Does this profile inject anything at all?"""
+        return (self.vrt_storm_rate_per_s > 0
+                or self.temperature_drift_amplitude_c > 0
+                or self.read_noise_probability > 0
+                or self.write_drop_probability > 0
+                or self.ref_drop_probability > 0
+                or self.ref_duplicate_probability > 0
+                or self.hammer_duplicate_probability > 0
+                or self.stale_row_fraction > 0)
+
+    def scaled(self, **overrides) -> "FaultProfile":
+        """Copy with some intensities replaced (chaos-sweep helper)."""
+        return replace(self, **overrides)
+
+
+#: Strict no-op: attach it and nothing observable changes.
+NONE = FaultProfile(name="none")
+
+#: One family at a time — used to attribute failures during chaos runs.
+VRT_STORM = FaultProfile(
+    name="vrt-storm", vrt_storm_rate_per_s=1.2,
+    vrt_storm_duration_ms=150.0, vrt_storm_toggle_scale=25.0)
+TEMPERATURE_DRIFT = FaultProfile(
+    name="temperature-drift", temperature_drift_amplitude_c=3.0,
+    temperature_drift_period_s=15.0)
+READ_NOISE = FaultProfile(name="read-noise", read_noise_probability=0.002)
+COMMAND_FAULTS = FaultProfile(
+    name="command-faults", write_drop_probability=0.0015,
+    ref_drop_probability=2e-05, ref_duplicate_probability=2e-05,
+    hammer_duplicate_probability=0.001)
+STALE_PROFILE = FaultProfile(
+    name="stale-profile", stale_row_fraction=0.08,
+    stale_scale_range=(0.9, 1.12))
+
+#: The representative noisy rig: every family on at moderate intensity.
+DEFAULT = FaultProfile(
+    name="default",
+    vrt_storm_rate_per_s=0.8, vrt_storm_duration_ms=120.0,
+    vrt_storm_toggle_scale=20.0,
+    temperature_drift_amplitude_c=2.0, temperature_drift_period_s=20.0,
+    read_noise_probability=0.001,
+    write_drop_probability=0.001, ref_drop_probability=1e-05,
+    ref_duplicate_probability=1e-05, hammer_duplicate_probability=0.0005,
+    stale_row_fraction=0.05, stale_scale_range=(0.92, 1.09))
+
+PROFILES: dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (NONE, VRT_STORM, TEMPERATURE_DRIFT, READ_NOISE,
+                    COMMAND_FAULTS, STALE_PROFILE, DEFAULT)
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a named fault profile."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fault profile {name!r}; "
+            f"known: {', '.join(sorted(PROFILES))}") from None

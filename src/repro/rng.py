@@ -25,7 +25,7 @@ KeyPart = int | str | bytes | float
 def derive_seed(*parts: KeyPart) -> int:
     """Derive a stable 64-bit seed from a hierarchical key.
 
-    >>> derive_seed("module", 7, "row", 42) == derive_seed("module", 7, "row", 42)
+    >>> derive_seed("mod", 7, "row", 42) == derive_seed("mod", 7, "row", 42)
     True
     >>> derive_seed("a", 1) != derive_seed("a", 2)
     True
@@ -36,7 +36,7 @@ def derive_seed(*parts: KeyPart) -> int:
             raw = b"b" + part
         elif isinstance(part, str):
             raw = b"s" + part.encode("utf-8")
-        elif isinstance(part, bool):  # bool before int: bool is an int subclass
+        elif isinstance(part, bool):  # before int: bool subclasses int
             raw = b"o" + (b"1" if part else b"0")
         elif isinstance(part, int):
             raw = b"i" + str(part).encode("ascii")

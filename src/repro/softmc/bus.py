@@ -104,7 +104,7 @@ class DdrBus:
         except IndexError:
             raise ProtocolError(f"bank {bank} does not exist") from None
 
-    # -- the five commands -----------------------------------------------------
+    # -- the five commands ----------------------------------------------------
 
     def activate(self, bank: int, row: int,
                  at_ps: int | None = None) -> int:
@@ -175,7 +175,7 @@ class DdrBus:
         self.ref_count += 1
         return issue
 
-    # -- composite conveniences --------------------------------------------------
+    # -- composite conveniences -----------------------------------------------
 
     def hammer_once(self, bank: int, row: int) -> int:
         """One full ACT/PRE cycle (the unit the paper counts)."""

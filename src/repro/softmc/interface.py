@@ -15,6 +15,7 @@ observables are read-back data and the host's own clock.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,18 +23,40 @@ from ..dram import ActBatch, DataPattern, DramChip, HammerMode
 from ..errors import ConfigError
 from ..units import ms, us
 
+if TYPE_CHECKING:
+    from ..faults import FaultInjector
+
 
 class SoftMCHost:
-    """Command-level host access to one DRAM module."""
+    """Command-level host access to one DRAM module.
 
-    def __init__(self, chip: DramChip) -> None:
+    An optional :class:`~repro.faults.FaultInjector` perturbs the
+    boundary this class models: commands may be dropped or duplicated
+    and readback data transiently corrupted, while the injector drives
+    the chip's physical environment (VRT storms, temperature drift).
+    Without an injector every operation reaches the chip verbatim.
+    """
+
+    def __init__(self, chip: DramChip,
+                 faults: "FaultInjector | None" = None) -> None:
         self._chip = chip
+        self._faults = faults
+        if faults is not None:
+            faults.attach(chip)
         #: REF commands issued by this host (the experimenter's counter;
         #: regular-refresh periodicity is expressed in this index).
         self.ref_count = 0
         #: Activations issued per bank (the experimenter's own ledger —
         #: phase-locked attacks track the deterministic sampler with it).
         self.acts_per_bank: dict[int, int] = {}
+
+    @property
+    def faults(self) -> "FaultInjector | None":
+        return self._faults
+
+    def _tick(self) -> None:
+        if self._faults is not None:
+            self._faults.advance(self._chip.now_ps)
 
     def _count_acts(self, bank: int, count: int) -> None:
         self.acts_per_bank[bank] = self.acts_per_bank.get(bank, 0) + count
@@ -70,32 +93,52 @@ class SoftMCHost:
     def write_row(self, bank: int, row: int, pattern: DataPattern) -> None:
         """Write *pattern* into the row (logical addressing)."""
         self._count_acts(bank, 1)
+        self._tick()
+        if self._faults is not None and self._faults.drop_write(
+                self._chip.now_ps):
+            return
         self._chip.write_row(bank, row, pattern)
 
     def read_row(self, bank: int, row: int) -> np.ndarray:
         """Read the row's current bits."""
         self._count_acts(bank, 1)
-        return self._chip.read_row(bank, row)
+        self._tick()
+        bits = self._chip.read_row(bank, row)
+        if self._faults is not None:
+            bits = self._faults.corrupt_bits(bits)
+        return bits
 
     def read_row_mismatches(self, bank: int, row: int) -> list[int]:
         """Bit positions differing from the last written data."""
         self._count_acts(bank, 1)
-        return self._chip.read_row_mismatches(bank, row)
+        self._tick()
+        mismatches = self._chip.read_row_mismatches(bank, row)
+        if self._faults is not None:
+            mismatches = self._faults.corrupt_mismatches(
+                self._chip.config.row_bits, mismatches)
+        return mismatches
 
-    # -- hammering -------------------------------------------------------------
+    # -- hammering ------------------------------------------------------------
 
     def hammer(self, bank: int, pattern: Iterable[tuple[int, int]],
                mode: HammerMode = HammerMode.INTERLEAVED) -> None:
         """Hammer rows of one bank with per-row counts in *mode* order."""
         entries = tuple((row, count) for row, count in pattern)
         self._count_acts(bank, sum(count for _, count in entries))
-        self._chip.hammer(ActBatch(bank=bank, pattern=entries, mode=mode))
+        self._hammer_batch(ActBatch(bank=bank, pattern=entries, mode=mode))
 
     def hammer_single(self, bank: int, row: int, count: int) -> None:
         """Hammer one row *count* times (a cascaded run)."""
         self._count_acts(bank, count)
-        self._chip.hammer(ActBatch(bank=bank, pattern=((row, count),),
-                                   mode=HammerMode.CASCADED))
+        self._hammer_batch(ActBatch(bank=bank, pattern=((row, count),),
+                                    mode=HammerMode.CASCADED))
+
+    def _hammer_batch(self, batch: ActBatch) -> None:
+        self._tick()
+        self._chip.hammer(batch)
+        if self._faults is not None and self._faults.duplicate_hammer(
+                self._chip.now_ps):
+            self._chip.hammer(batch)
 
     def hammer_multi(self, per_bank: Mapping[int, Iterable[tuple[int, int]]],
                      mode: HammerMode = HammerMode.CASCADED) -> None:
@@ -108,9 +151,10 @@ class SoftMCHost:
         ]
         for batch in batches:
             self._count_acts(batch.bank, batch.total)
+        self._tick()
         self._chip.hammer_multi(batches)
 
-    # -- refresh and time --------------------------------------------------------
+    # -- refresh and time -----------------------------------------------------
 
     def refresh(self, count: int = 1, at_nominal_rate: bool = False) -> None:
         """Issue *count* REF commands.
@@ -120,12 +164,37 @@ class SoftMCHost:
         back-to-back (each still occupying tRFC).
         """
         spacing = self.timing.trefi_ps if at_nominal_rate else None
-        self._chip.refresh(count=count, spacing_ps=spacing)
+        self._tick()
+        if self._faults is not None and self._faults.perturbs_refs:
+            self._refresh_faulty(count, spacing)
+        else:
+            self._chip.refresh(count=count, spacing_ps=spacing)
         self.ref_count += count
+
+    def _refresh_faulty(self, count: int, spacing: int | None) -> None:
+        """Issue REFs one at a time so each can be dropped or duplicated.
+
+        The host's own ledger (:attr:`ref_count`) advances by the full
+        *count* regardless: a flaky rig desynchronizes the experimenter's
+        REF index from the chip's refresh engine, which is precisely the
+        fault the hardened calibrator must survive.
+        """
+        chip = self._chip
+        for _ in range(count):
+            repeats = self._faults.ref_repeats(chip.now_ps)
+            if repeats == 0:
+                # The command was lost but its bus slot still passes.
+                chip.wait(spacing if spacing is not None
+                          else self.timing.trfc_ps)
+                continue
+            chip.refresh(count=1, spacing_ps=spacing)
+            for _ in range(repeats - 1):
+                chip.raw_refresh()
 
     def wait(self, duration_ps: int) -> None:
         """Idle without issuing any command (refresh stays disabled)."""
         self._chip.wait(duration_ps)
+        self._tick()
 
     def wait_us(self, duration_us: float) -> None:
         self.wait(us(duration_us))

@@ -42,7 +42,7 @@ class TrrContext:
 class TrrGroundTruth:
     """What a perfect reverse-engineering run should recover (Table 1)."""
 
-    kind: str                      #: "counter" | "sampling" | "window" | "none"
+    kind: str          #: "counter" | "sampling" | "window" | "none"
     trr_ref_period: int            #: every Nth REF is TRR-capable (0 = never)
     neighbors_refreshed: int       #: rows refreshed per TRR-induced refresh
     aggressor_capacity: int | None #: tracked aggressors (None = unknown/n.a.)

@@ -7,7 +7,7 @@ import pytest
 
 from repro.attacks import (AttackContext, AttackExecutor,
                            DoubleSidedPattern, default_context)
-from repro.dram import AllOnes, Checkerboard, DramChip, inverted
+from repro.dram import Checkerboard, DramChip, inverted
 from repro.errors import AttackConfigError
 from repro.softmc import SoftMCHost
 

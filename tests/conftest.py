@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dram import DeviceConfig, DisturbanceConfig, DramChip, RetentionConfig
+from repro.dram import (DeviceConfig, DisturbanceConfig, DramChip,
+                        RetentionConfig)
 
 
 @pytest.fixture

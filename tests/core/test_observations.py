@@ -8,7 +8,6 @@ read-back data.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import TrrInference
 from repro.trr import CounterBasedTrr, SamplingBasedTrr, WindowBasedTrr
@@ -20,7 +19,7 @@ def inference(trr, **host_kwargs):
     return TrrInference(host, fast_inference_config())
 
 
-# ---- Vendor A (counter-based) ------------------------------------------------
+# ---- Vendor A (counter-based) -----------------------------------------------
 
 def test_obs_a1_every_ninth_ref_is_trr_capable():
     inf = inference(CounterBasedTrr(trr_ref_period=9))
@@ -120,7 +119,7 @@ def test_obs_b5_sample_persists_after_trr_refresh():
     assert persists is True
 
 
-# ---- Vendor C (window-based) --------------------------------------------------
+# ---- Vendor C (window-based) ------------------------------------------------
 
 def test_obs_c1_period_and_deferral():
     inf = inference(WindowBasedTrr(trr_ref_period=17, seed=8))

@@ -67,6 +67,27 @@ def test_vrt_rows_rejected_with_enough_validation():
             assert not (critical & profile.is_vrt).any()
 
 
+def test_paper_validation_rounds_reject_all_vrt_keep_stable():
+    # Paper fidelity (§4.1): at the paper's 1000 validation rounds every
+    # VRT-critical row is rejected while stable rows still qualify.
+    host = make_host(rows=4096, vrt_fraction=0.5, serial=21)
+    scout = RowScout(host)
+    groups = scout.find_groups(
+        scout_config(validation_rounds=1000, group_count=2))
+    assert len(groups) == 2  # stable rows survive the full budget
+    assert scout.stats.rows_rejected > 0  # ...and VRT rows were culled
+    chip = host._chip
+    for group in groups:
+        for logical, physical in group.row_pairs():
+            bank = chip.banks[0]
+            state = bank.state(physical)
+            profile = bank._retention(physical, state)
+            exposed = profile.polarity == AllOnes().bits_at(profile.positions)
+            critical = (profile.base_retention_ps <= group.retention_ps) \
+                & exposed
+            assert not (critical & profile.is_vrt).any()
+
+
 def test_row_range_respected():
     host = make_host(rows=4096)
     groups = RowScout(host).find_groups(

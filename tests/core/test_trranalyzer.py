@@ -7,10 +7,9 @@ import pytest
 from repro.core import (AggressorHammer, ExperimentConfig, ProfilingConfig,
                         RefreshCalibrator, RowGroupLayout, RowScout,
                         TrrAnalyzer)
-from repro.dram import AllOnes, HammerMode
+from repro.dram import AllOnes
 from repro.errors import ConfigError
 from repro.trr import CounterBasedTrr
-from repro.units import ms
 from .conftest import make_host
 
 

@@ -101,7 +101,8 @@ def test_mapping_applied_to_hammering(small_config):
     chip = DramChip(config)
     # Hammer logical row 4 (physical 4) -> physical victims 3 and 5, which
     # are logical 3 and 6 respectively under the swap.
-    threshold = chip.true_min_hammer_threshold(0, chip.mapping.to_logical(3), AllOnes())
+    threshold = chip.true_min_hammer_threshold(
+        0, chip.mapping.to_logical(3), AllOnes())
     # Single-sided cascaded hammering: effective acts ~ cascade_weight x raw.
     count = int(threshold * 3) + 10
     logical_victim = chip.mapping.to_logical(3)

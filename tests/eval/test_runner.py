@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import pytest
 
 from repro.eval import QUICK, evaluate_module
 from repro.eval.runner import candidate_patterns

@@ -1,0 +1,26 @@
+"""Fixtures for fault-injection tests: small chips with optional faults."""
+
+from __future__ import annotations
+
+from repro.dram import (DeviceConfig, DisturbanceConfig, DramChip,
+                        RetentionConfig)
+from repro.faults import FaultInjector, FaultProfile
+from repro.softmc import SoftMCHost
+
+
+def make_faulty_host(profile: FaultProfile | str | None = None,
+                     seed: int = 0, *, rows=2_048, banks=2, serial=7,
+                     vrt_fraction=0.0, weak_mean=2.0,
+                     hc_first=12_000) -> SoftMCHost:
+    """A core-test-sized chip, optionally wrapped in a FaultInjector."""
+    config = DeviceConfig(
+        name="fault-test", serial=serial, num_banks=banks,
+        rows_per_bank=rows, row_bits=1024,
+        refresh_cycle_refs=min(2_048, rows),
+        retention=RetentionConfig(weak_cells_per_row_mean=weak_mean,
+                                  vrt_fraction=vrt_fraction),
+        disturbance=DisturbanceConfig(hc_first=hc_first))
+    faults = None
+    if profile is not None:
+        faults = FaultInjector(profile, seed=seed)
+    return SoftMCHost(DramChip(config), faults=faults)

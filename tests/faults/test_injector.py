@@ -1,0 +1,152 @@
+"""Unit tests for the fault injector and its profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import AllOnes
+from repro.errors import ConfigError
+from repro.faults import (DEFAULT, NONE, FaultInjector, FaultProfile,
+                          get_profile)
+from repro.units import ms, us
+from .conftest import make_faulty_host
+
+
+def test_profile_registry_and_validation():
+    assert get_profile("none") is NONE
+    assert get_profile("default") is DEFAULT
+    assert not NONE.enabled
+    assert DEFAULT.enabled
+    with pytest.raises(ConfigError):
+        get_profile("hurricane")
+    with pytest.raises(ConfigError):
+        FaultProfile(read_noise_probability=1.5)
+    with pytest.raises(ConfigError):
+        FaultProfile(vrt_storm_toggle_scale=0.5)
+    with pytest.raises(ConfigError):
+        FaultProfile(stale_scale_range=(0.0, 1.0))
+    scaled = DEFAULT.scaled(read_noise_probability=0.5)
+    assert scaled.read_noise_probability == 0.5
+    assert scaled.vrt_storm_rate_per_s == DEFAULT.vrt_storm_rate_per_s
+
+
+def test_attach_is_exclusive():
+    host = make_faulty_host("default")
+    other = make_faulty_host()
+    with pytest.raises(ConfigError):
+        host.faults.attach(other._chip)
+
+
+def test_vrt_storms_drive_toggle_scale():
+    profile = FaultProfile(vrt_storm_rate_per_s=50.0,
+                           vrt_storm_duration_ms=200.0,
+                           vrt_storm_toggle_scale=30.0)
+    host = make_faulty_host(profile)
+    environment = host._chip.environment
+    scales = set()
+    for _ in range(200):
+        host.wait(ms(10))
+        scales.add(environment.vrt_toggle_scale)
+    assert 30.0 in scales  # storms activated...
+    assert host.faults.counters["vrt-storm"] > 0
+    assert any(event == "vrt-storm" for event, _, _ in host.faults.trace)
+
+
+def test_temperature_drift_scales_retention():
+    profile = FaultProfile(temperature_drift_amplitude_c=10.0,
+                           temperature_drift_period_s=1.0)
+    host = make_faulty_host(profile)
+    environment = host._chip.environment
+    scales = []
+    for _ in range(50):
+        host.wait(ms(50))
+        scales.append(environment.retention_scale)
+    # +-10 C swings retention by up to 2x either way (2^(+-1)).
+    assert min(scales) < 0.75
+    assert max(scales) > 1.3
+    assert all(0.5 <= scale <= 2.0 for scale in scales)
+
+
+def test_ref_drop_desyncs_host_ledger_from_chip():
+    profile = FaultProfile(ref_drop_probability=1.0)
+    host = make_faulty_host(profile)
+    engine = host._chip.refresh_engine
+    before = engine.refs_seen if hasattr(engine, "refs_seen") else None
+    host.refresh(10)
+    assert host.ref_count == 10  # the experimenter's ledger advanced...
+    assert host.faults.counters["ref-drop"] == 10
+    if before is not None:  # ...but the chip never saw a REF.
+        assert engine.refs_seen == before
+
+
+def test_ref_duplicate_executes_extra_refreshes():
+    profile = FaultProfile(ref_duplicate_probability=1.0)
+    host = make_faulty_host(profile)
+    host.refresh(5)
+    assert host.ref_count == 5
+    assert host.faults.counters["ref-duplicate"] == 5
+
+
+def test_write_drop_leaves_stale_data():
+    profile = FaultProfile(write_drop_probability=1.0)
+    host = make_faulty_host(profile)
+    injector = host.faults
+    assert injector.drop_write(host.now_ps)
+    assert injector.counters["write-drop"] == 1
+
+
+def test_read_noise_toggles_one_mismatch_bit():
+    profile = FaultProfile(read_noise_probability=1.0)
+    injector = FaultInjector(profile, seed=3)
+    corrupted = injector.corrupt_mismatches(1024, [5, 10])
+    assert len(corrupted) in (1, 3)
+    assert injector.counters["read-noise"] == 1
+    bits = np.zeros(64, dtype=np.uint8)
+    noisy = injector.corrupt_bits(bits)
+    assert noisy.sum() == 1  # exactly one bit flipped
+    assert bits.sum() == 0   # the original readout is untouched
+
+
+def test_read_noise_is_transient_not_persistent():
+    profile = FaultProfile(read_noise_probability=1.0)
+    host = make_faulty_host(profile)
+    host._faults = None  # write cleanly first
+    host.write_row(0, 10, AllOnes())
+    host._faults = FaultInjector(profile, seed=1)
+    host._faults.attach(host._chip)
+    host.wait(us(10))
+    first = host.read_row_mismatches(0, 10)
+    assert len(first) == 1  # spurious mismatch injected
+    host._faults = None
+    clean = host.read_row_mismatches(0, 10)
+    assert clean == []  # the stored cell was never corrupted
+
+
+def test_stale_scales_are_per_row_and_session_scoped():
+    profile = FaultProfile(stale_row_fraction=1.0,
+                           stale_scale_range=(0.8, 1.25))
+    host = make_faulty_host(profile)
+    injector = host.faults
+    environment = host._chip.environment
+    assert environment.row_retention_scale is not None
+    first = environment.row_retention_scale(0, 100)
+    assert first != 1.0
+    assert environment.row_retention_scale(0, 100) == first  # cached
+    assert environment.row_retention_scale(0, 101) != first
+    injector.new_session()
+    redrawn = environment.row_retention_scale(0, 100)
+    assert redrawn != first  # stale rows re-drawn per session
+
+
+def test_none_profile_injects_nothing():
+    host = make_faulty_host("none")
+    environment = host._chip.environment
+    host.write_row(0, 5, AllOnes())
+    host.hammer_single(0, 50, 100)
+    host.refresh(32)
+    host.wait(ms(100))
+    host.read_row_mismatches(0, 5)
+    assert environment.neutral
+    assert host.faults.fault_count() == 0
+    assert host.faults.trace == []

@@ -1,0 +1,106 @@
+"""Hardened pipeline pieces: retries, quarantine, voting, hit probes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (ExperimentConfig, ProfilingConfig, RefreshCalibrator,
+                        RowGroupLayout, RowScout, TrrAnalyzer)
+from repro.dram import AllOnes
+from repro.errors import ConfigError
+from repro.faults import FaultProfile
+from .conftest import make_faulty_host
+
+
+def scout_config(**overrides):
+    defaults = dict(bank=0, layout=RowGroupLayout.parse("R-R"),
+                    group_count=2, validation_rounds=4)
+    defaults.update(overrides)
+    return ProfilingConfig(**defaults)
+
+
+def build_analyzer(host, group_count=2):
+    scout = RowScout(host)
+    groups = scout.find_groups(scout_config(group_count=group_count))
+    calibrator = RefreshCalibrator(host, AllOnes())
+    cycle = calibrator.find_cycle(0, groups[0].logical_rows[0],
+                                  groups[0].retention_ps)
+    rows = [(0, r) for g in groups for r in g.logical_rows]
+    schedule = calibrator.calibrate_rows(rows, groups[0].retention_ps, cycle)
+    return groups, TrrAnalyzer(host, groups, schedule)
+
+
+def test_round_retries_ride_out_read_noise():
+    host = make_faulty_host(FaultProfile(read_noise_probability=0.02),
+                            seed=5)
+    scout = RowScout(host)
+    groups = scout.find_groups(scout_config(round_retries=3,
+                                            scan_attempts=3))
+    assert len(groups) == 2
+    assert scout.stats.round_retries > 0
+
+
+def test_flaky_rows_are_quarantined():
+    scout = RowScout(make_faulty_host())
+    config = scout_config(quarantine_after=2, round_retries=1)
+    scout._note_flaky(0, 50, config)
+    assert 50 not in scout.quarantine.get(0, set())
+    scout._note_flaky(0, 50, config)
+    assert 50 in scout.quarantine[0]
+    assert scout.stats.rows_quarantined == 1
+
+
+def test_replace_group_quarantines_and_substitutes():
+    scout = RowScout(make_faulty_host())
+    config = scout_config()
+    groups = scout.find_groups(config)
+    replacement = scout.replace_group(config, groups[0], keep=groups[1:])
+    assert replacement.retention_ps == groups[0].retention_ps
+    assert set(replacement.physical_rows).isdisjoint(
+        groups[0].physical_rows)
+    assert set(replacement.physical_rows).isdisjoint(
+        groups[1].physical_rows)
+    for physical in groups[0].physical_rows:
+        assert physical in scout.quarantine[0]
+    assert scout.stats.groups_replaced == 1
+
+
+def test_run_robust_majority_shakes_off_read_noise():
+    host = make_faulty_host(FaultProfile(read_noise_probability=0.05),
+                            seed=2)
+    groups, analyzer = build_analyzer(host)
+    result = analyzer.run_robust(ExperimentConfig(refs_per_round=1),
+                                 votes=3)
+    assert result.votes == 3
+    # A no-TRR chip decays every victim; the majority filters the noise.
+    assert all(obs.flipped for obs in result.observations)
+    assert all(obs.confidence > 0.5 for obs in result.observations)
+    assert analyzer.stats.vote_rounds == 2
+
+
+def test_run_robust_rejects_stateful_probes():
+    groups, analyzer = build_analyzer(make_faulty_host())
+    with pytest.raises(ConfigError):
+        analyzer.run_robust(ExperimentConfig(reset_state=False), votes=3)
+
+
+def test_verify_hits_disavows_immortal_rows():
+    host = make_faulty_host()
+    groups, analyzer = build_analyzer(host)
+    immortal = groups[0].physical_rows[0]
+    # After profiling, the row's effective retention drifts far past its
+    # bucket (a stale profile / cold chip): it now survives everything.
+    def drifted_scale(bank, row):
+        return 50.0 if row == immortal else 1.0
+
+    host._chip.environment.row_retention_scale = drifted_scale
+    analyzer.verify_hits = True
+    result = analyzer.run(ExperimentConfig(refs_per_round=1))
+    by_physical = {obs.physical_row: obs for obs in result.observations}
+    assert not by_physical[immortal].trr_refreshed  # hit disavowed...
+    assert by_physical[immortal].inconclusive       # ...not trusted
+    assert analyzer.stats.hits_disavowed == 1
+    other = groups[1].physical_rows[0]
+    assert by_physical[other].flipped  # healthy rows decay normally
+    assert not analyzer.revalidate_group(groups[0])
+    assert analyzer.revalidate_group(groups[1])

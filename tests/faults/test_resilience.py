@@ -1,0 +1,16 @@
+"""End-to-end chaos: ground truth recovered under the default faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.resilience import RESILIENCE_MODULES, run_module_resilience
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("module_id", RESILIENCE_MODULES)
+def test_module_recovers_under_default_faults(module_id):
+    result = run_module_resilience(module_id)
+    assert result.faults_injected > 0
+    assert result.recovery_work > 0, result.recovery
+    assert result.recovered, (result.profile.summary(), result.expected)

@@ -7,7 +7,7 @@ import pytest
 from repro.dram import AllOnes, DramChip
 from repro.errors import ProtocolError, TimingViolationError
 from repro.softmc import Ddr, DdrBus, SoftMCHost
-from repro.units import ms, ns
+from repro.units import ms
 
 
 @pytest.fixture

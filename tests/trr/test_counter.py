@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dram.commands import ActBatch, single_row_batch
+from repro.dram.commands import single_row_batch
 from repro.errors import ConfigError
 from repro.trr.base import TrrContext
 from repro.trr.counter import CounterBasedTrr

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.vendors import (FIGURE8_MODULES, TrrVersion, all_modules,
-                           get_module, modules_by_vendor, modules_by_version)
+                           get_module, modules_by_vendor)
 
 
 def test_exactly_45_modules():
