@@ -6,12 +6,15 @@ regressions in the simulator or the tools show up in benchmark history.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core import (ProfilingConfig, RefreshCalibrator, RowGroupLayout,
                         RowScout)
 from repro.dram import (AllOnes, DeviceConfig, DisturbanceConfig, DramChip,
                         RetentionConfig)
+from repro.obs import NULL_OBS
 from repro.softmc import SoftMCHost
 from repro.trr import CounterBasedTrr
 
@@ -72,3 +75,48 @@ def test_bench_hammer_throughput(benchmark):
         return host.ref_count
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def _obs_workload(host) -> int:
+    """Fixed hammer/REF mix on the host hot path (the instrumented one)."""
+    for _ in range(200):
+        host.hammer(0, [(2000, 36), (2002, 36)])
+        host.hammer(0, [(100 + 8 * i, 70) for i in range(16)])
+        host.refresh(9)
+    return host.ref_count
+
+
+def test_disabled_observability_overhead_under_5_percent():
+    """The NULL_OBS path must cost < 5% over a host with no obs at all.
+
+    The host caches its recorder/metrics to ``None`` at construction
+    when observability is disabled, so the hot path is one identity
+    check per command.  Timed as min-of-N with interleaved runs so
+    machine drift hits both variants equally.
+    """
+    variants = {"bare": None, "null": NULL_OBS}
+
+    def timed(obs) -> float:
+        host = SoftMCHost(DramChip(CONFIG, CounterBasedTrr()), obs=obs)
+        start = time.perf_counter()
+        _obs_workload(host)
+        return time.perf_counter() - start
+
+    for obs in variants.values():  # warm caches on both paths
+        timed(obs)
+    # Timer noise on a busy machine can exceed the 5% budget, so the
+    # measurement gets up to three attempts; a real regression in the
+    # disabled path fails all of them.
+    for attempt in range(3):
+        best = {name: float("inf") for name in variants}
+        for _ in range(7):
+            for name, obs in variants.items():
+                best[name] = min(best[name], timed(obs))
+        overhead = best["null"] / best["bare"] - 1.0
+        print(f"\ndisabled-observability overhead: {overhead * 100:+.2f}% "
+              f"(bare {best['bare']:.4f}s, null {best['null']:.4f}s, "
+              f"attempt {attempt + 1})")
+        if overhead < 0.05:
+            return
+    pytest.fail(f"disabled observability costs {overhead * 100:.1f}% "
+                f"(budget 5%): {best}")

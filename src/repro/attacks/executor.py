@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from ..dram.mapping import RowMapping
 from ..dram.patterns import AllOnes, DataPattern, inverted
 from ..errors import AttackConfigError
+from ..obs import NULL_OBS, Observability
 from ..softmc import SoftMCHost
 from .base import AccessPattern, AttackContext
 from .session import AttackSession
@@ -41,10 +42,12 @@ class AttackExecutor:
     """Runs access patterns against a module through the host interface."""
 
     def __init__(self, host: SoftMCHost, mapping: RowMapping,
-                 victim_pattern: DataPattern | None = None) -> None:
+                 victim_pattern: DataPattern | None = None,
+                 obs: Observability | None = None) -> None:
         self._host = host
         self._mapping = mapping
         self._victim_pattern = victim_pattern or AllOnes()
+        self._obs = obs or getattr(host, "obs", None) or NULL_OBS
 
     def run(self, pattern: AccessPattern, context: AttackContext,
             windows: int,
@@ -68,16 +71,24 @@ class AttackExecutor:
                            self._victim_pattern)
 
         session = AttackSession(host, context.trr_period)
-        session.align_to_period()
-        for _ in range(windows):
-            pattern.run_window(session, context)
+        with self._obs.span("attack.run", pattern=pattern.name,
+                            windows=windows):
+            session.align_to_period()
+            for _ in range(windows):
+                pattern.run_window(session, context)
 
         flips = {
             row: host.read_row_mismatches(context.bank,
                                           context.mapping.to_logical(row))
             for row in victims
         }
-        return AttackResult(pattern=pattern.name, windows=windows,
-                            refs_issued=session.refs_issued,
-                            acts_issued=session.acts_issued,
-                            victim_flips=flips)
+        result = AttackResult(pattern=pattern.name, windows=windows,
+                              refs_issued=session.refs_issued,
+                              acts_issued=session.acts_issued,
+                              victim_flips=flips)
+        metrics = self._obs.metrics
+        metrics.inc("attack.runs")
+        metrics.inc("attack.refs_issued", result.refs_issued)
+        metrics.inc("attack.acts_issued", result.acts_issued)
+        metrics.observe("attack.flips_per_run", result.total_flips)
+        return result

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from ..dram.commands import HammerMode
 from ..dram.patterns import AllOnes, DataPattern
 from ..errors import ExperimentError, ProfilingError, TransientFaultError
+from ..obs import NULL_OBS, Observability
 from ..softmc import SoftMCHost
 from .mapping_re import CouplingTopology, MappingDiscovery, \
     discover_row_mapping
@@ -138,9 +139,11 @@ class TrrInference:
     """Drives the full §6 reverse-engineering sequence."""
 
     def __init__(self, host: SoftMCHost,
-                 config: InferenceConfig | None = None) -> None:
+                 config: InferenceConfig | None = None,
+                 obs: Observability | None = None) -> None:
         self._host = host
         self.config = config or InferenceConfig()
+        self._obs = obs or getattr(host, "obs", None) or NULL_OBS
         self._mapping_discovery: MappingDiscovery | None = None
         self._scout: RowScout | None = None
         self._cycle: int | None = None
@@ -157,18 +160,20 @@ class TrrInference:
     @property
     def mapping_discovery(self) -> MappingDiscovery:
         if self._mapping_discovery is None:
-            self._mapping_discovery = discover_row_mapping(
-                self._host, self.config.bank,
-                hammer_count=self.config.mapping_hammer_count,
-                probe_count=self.config.mapping_probe_count,
-                pattern=self.config.pattern)
+            with self._obs.span("inference.mapping"):
+                self._mapping_discovery = discover_row_mapping(
+                    self._host, self.config.bank,
+                    hammer_count=self.config.mapping_hammer_count,
+                    probe_count=self.config.mapping_probe_count,
+                    pattern=self.config.pattern)
         return self._mapping_discovery
 
     @property
     def scout(self) -> RowScout:
         if self._scout is None:
             self._scout = RowScout(self._host,
-                                   self.mapping_discovery.mapping)
+                                   self.mapping_discovery.mapping,
+                                   obs=self._obs)
             # Aggregate the scout's recovery counters into this run's.
             self._scout.stats = self.stats.rowscout
         return self._scout
@@ -204,29 +209,35 @@ class TrrInference:
                 return self._acquired[key]
         profiling_configs = [self._profiling_config(layout, count, bank)
                              for bank in banks]
-        per_bank = self.scout.find_groups_joint(profiling_configs)
-        # Earlier experiments may have left aggressors in the TRR state
-        # whose neighbors overlap the freshly found groups (Obs A7: table
-        # entries persist); flush before calibrating.
-        self._flush_trr_state(per_bank)
-        calibrator = RefreshCalibrator(self._host, self.config.pattern)
-        # Kept for schedule repairs (recalibrate_after_violations): the
-        # most recent calibrator already protects the freshest row set.
-        self._calibrator = calibrator
-        retention = per_bank[0][0].retention_ps
-        if self._cycle is None:
-            self._cycle = self._measure_cycle(calibrator, per_bank,
-                                              retention)
-        rows = [(group.bank, logical)
-                for groups in per_bank for group in groups
-                for logical in group.logical_rows]
-        schedule = calibrator.calibrate_rows(
-            rows, retention, self._cycle,
-            drop_uncovered=self.config.partial_on_failure)
-        if self._hardened:
-            per_bank = self._repair_uncalibrated(per_bank, schedule,
-                                                 profiling_configs,
-                                                 calibrator, retention)
+        with self._obs.span("inference.acquire", layout=layout,
+                            count=count):
+            per_bank = self.scout.find_groups_joint(profiling_configs)
+            # Earlier experiments may have left aggressors in the TRR
+            # state whose neighbors overlap the freshly found groups
+            # (Obs A7: table entries persist); flush before calibrating.
+            self._flush_trr_state(per_bank)
+            calibrator = RefreshCalibrator(self._host,
+                                           self.config.pattern,
+                                           obs=self._obs)
+            # Kept for schedule repairs (recalibrate_after_violations):
+            # the most recent calibrator already protects the freshest
+            # row set.
+            self._calibrator = calibrator
+            retention = per_bank[0][0].retention_ps
+            if self._cycle is None:
+                self._cycle = self._measure_cycle(calibrator, per_bank,
+                                                  retention)
+            rows = [(group.bank, logical)
+                    for groups in per_bank for group in groups
+                    for logical in group.logical_rows]
+            with self._obs.span("inference.calibrate", rows=len(rows)):
+                schedule = calibrator.calibrate_rows(
+                    rows, retention, self._cycle,
+                    drop_uncovered=self.config.partial_on_failure)
+            if self._hardened:
+                per_bank = self._repair_uncalibrated(per_bank, schedule,
+                                                     profiling_configs,
+                                                     calibrator, retention)
         self._acquired[key] = (per_bank, schedule)
         return self._acquired[key]
 
@@ -318,7 +329,8 @@ class TrrInference:
         """Dummy-hammer + REF bursts to evict every stale TRR entry."""
         groups = [group for groups in per_bank for group in groups]
         analyzer = TrrAnalyzer(self._host, groups, schedule=None,
-                               mapping=self.mapping_discovery.mapping)
+                               mapping=self.mapping_discovery.mapping,
+                               obs=self._obs)
         analyzer.reset_trr_state()
 
     @property
@@ -337,7 +349,7 @@ class TrrInference:
                   schedule: RefreshSchedule) -> TrrAnalyzer:
         analyzer = TrrAnalyzer(self._host, groups, schedule,
                                self.mapping_discovery.mapping,
-                               stats=self.stats.analyzer)
+                               stats=self.stats.analyzer, obs=self._obs)
         analyzer.verify_hits = self._hardened
         return analyzer
 
@@ -372,6 +384,7 @@ class TrrInference:
                 analyzer.schedule, bank, row, analyzer.retention_ps)
             analyzer.schedule_suspects[(bank, row)] = 0
             self.stats.recalibrations += 1
+            self._obs.metrics.inc("inference.recalibrations")
 
     def _center_aggressor(self, group: RowGroup,
                           count: int) -> AggressorHammer:
@@ -820,12 +833,16 @@ class TrrInference:
         propagates unchanged.
         """
         try:
-            value, detail = func()
+            with self._obs.span("inference." + name):
+                value, detail = func()
         except (ExperimentError, ProfilingError,
                 TransientFaultError) as exc:
             if not self.config.partial_on_failure:
                 raise
             self.stats.degraded_stages += 1
+            self._obs.metrics.inc("inference.degraded_stages")
+            self._obs.event("stage-degraded", ps=self._host.now_ps,
+                            stage=name, error=type(exc).__name__)
             confidence[name] = 0.0
             return default, {"degraded": type(exc).__name__,
                              "error": str(exc)}
@@ -840,6 +857,10 @@ class TrrInference:
         propagate failures.  The observation stages degrade to tagged
         defaults when ``partial_on_failure`` is set.
         """
+        with self._obs.span("inference.run", bank=self.config.bank):
+            return self._run_stages()
+
+    def _run_stages(self) -> InferredTrrProfile:
         discovery = self.mapping_discovery
         cycle = self.regular_refresh_cycle
         confidence: dict = {}

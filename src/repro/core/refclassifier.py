@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from ..dram.patterns import DataPattern
 from ..errors import ExperimentError, TransientFaultError
+from ..obs import NULL_OBS, Observability
 from ..softmc import SoftMCHost
 
 
@@ -86,9 +87,11 @@ class RefreshCalibrator:
     #: Burst size: large enough to win any sampler/window w.h.p.
     DIVERSION_HAMMERS = 2048
 
-    def __init__(self, host: SoftMCHost, pattern: DataPattern) -> None:
+    def __init__(self, host: SoftMCHost, pattern: DataPattern,
+                 obs: Observability | None = None) -> None:
         self._host = host
         self._pattern = pattern
+        self._obs = obs or getattr(host, "obs", None) or NULL_OBS
         self._diversion: dict[int, int] = {}
         self._protected: dict[int, set[int]] = {}
 
@@ -123,6 +126,7 @@ class RefreshCalibrator:
         retention]`` — exactly what Row Scout guarantees for its buckets.
         """
         host = self._host
+        self._obs.metrics.inc("calibrator.probes")
         host.write_row(bank, row, self._pattern)
         self._divert(bank, row)
         host.wait(retention_ps // 2)
@@ -179,29 +183,31 @@ class RefreshCalibrator:
         turns that into a :class:`~repro.errors.TransientFaultError` so
         a hardened caller can try another profiled row.
         """
-        if check_decay and self.probe(bank, row, retention_ps, 0):
-            raise TransientFaultError(
-                f"row {row} (bank {bank}) no longer decays within its "
-                "retention bucket — unusable for cycle measurement")
-        coarse = self._scan_for_coverage(bank, row, retention_ps,
-                                         coarse_step, 2 * max_cycle)
-        del coarse  # only needed to get near the phase
-        first = self._find_exact_covering(bank, row, retention_ps,
-                                          coarse_start=0,
-                                          coarse_step=coarse_step)
-        second = self._find_exact_covering(bank, row, retention_ps,
-                                           coarse_start=0,
-                                           coarse_step=coarse_step)
-        cycle = second - first
-        if cycle <= 0 or cycle > max_cycle:
-            raise ExperimentError(f"implausible refresh cycle {cycle}")
-        if check_decay and cycle < coarse_step:
-            # Two back-to-back "coverings" this close mean the row went
-            # immortal mid-measurement, not that the cycle is tiny.
-            raise TransientFaultError(
-                f"row {row} (bank {bank}) measured cycle {cycle} < "
-                f"{coarse_step}: retention drifted mid-measurement")
-        return cycle
+        with self._obs.span("calibrator.find_cycle", bank=bank, row=row):
+            if check_decay and self.probe(bank, row, retention_ps, 0):
+                raise TransientFaultError(
+                    f"row {row} (bank {bank}) no longer decays within its "
+                    "retention bucket — unusable for cycle measurement")
+            coarse = self._scan_for_coverage(bank, row, retention_ps,
+                                             coarse_step, 2 * max_cycle)
+            del coarse  # only needed to get near the phase
+            first = self._find_exact_covering(bank, row, retention_ps,
+                                              coarse_start=0,
+                                              coarse_step=coarse_step)
+            second = self._find_exact_covering(bank, row, retention_ps,
+                                               coarse_start=0,
+                                               coarse_step=coarse_step)
+            cycle = second - first
+            if cycle <= 0 or cycle > max_cycle:
+                raise ExperimentError(f"implausible refresh cycle {cycle}")
+            if check_decay and cycle < coarse_step:
+                # Two back-to-back "coverings" this close mean the row
+                # went immortal mid-measurement, not that the cycle is
+                # tiny.
+                raise TransientFaultError(
+                    f"row {row} (bank {bank}) measured cycle {cycle} < "
+                    f"{coarse_step}: retention drifted mid-measurement")
+            return cycle
 
     def calibrate_rows(self, rows: list[tuple[int, int]], retention_ps: int,
                        cycle: int, window: int = 8,

@@ -51,6 +51,7 @@ from typing import Iterable
 from ..dram.mapping import DirectMapping, RowMapping
 from ..dram.patterns import AllOnes, DataPattern
 from ..errors import ConfigError, RetryExhaustedError
+from ..obs import NULL_OBS, Observability
 from ..softmc import SoftMCHost
 from ..units import ms
 from .resilience import RowScoutStats
@@ -107,11 +108,15 @@ class RowScout:
     """Finds retention-profiled row groups through the side channel only."""
 
     def __init__(self, host: SoftMCHost,
-                 mapping: RowMapping | None = None) -> None:
+                 mapping: RowMapping | None = None,
+                 obs: Observability | None = None) -> None:
         self._host = host
         #: Logical<->physical mapping discovered by §5.3 reverse
         #: engineering (identity if the module needs none).
         self._mapping = mapping or DirectMapping(host.rows_per_bank)
+        #: Observability bundle: explicit, inherited from the host, or
+        #: the shared null bundle (all calls no-ops).
+        self._obs = obs or getattr(host, "obs", None) or NULL_OBS
         #: Recovery-work counters (chaos harness reporting).
         self.stats = RowScoutStats()
         #: Physical rows banned from profiling, per bank.
@@ -133,6 +138,7 @@ class RowScout:
         if physical not in banned:
             banned.add(physical)
             self.stats.rows_quarantined += 1
+            self._obs.metrics.inc("rowscout.rows_quarantined")
 
     def _note_flaky(self, bank: int, physical: int,
                     config: ProfilingConfig) -> None:
@@ -149,6 +155,7 @@ class RowScout:
         """One Fig. 6 step-1 pass: which physical rows fail within t_ps?"""
         host = self._host
         self.stats.scan_passes += 1
+        self._obs.metrics.inc("rowscout.scan_passes")
         logical = [self._mapping.to_logical(p) for p in physical_rows]
         for row in logical:
             host.write_row(bank, row, pattern)
@@ -185,22 +192,27 @@ class RowScout:
         """
         logical = self._mapping.to_logical(physical)
         stats = self.stats
+        metrics = self._obs.metrics
         for _ in range(config.validation_rounds):
             stats.rounds_validated += 1
+            metrics.inc("rowscout.rounds_validated")
             if self._probe_round(bank, logical, config.pattern,
                                  t_lo_ps, t_ps):
                 continue
             for _ in range(config.round_retries):
                 stats.round_retries += 1
+                metrics.inc("rowscout.round_retries")
                 self._note_flaky(bank, physical, config)
                 if self._is_quarantined(bank, (physical,)):
                     stats.rows_rejected += 1
+                    metrics.inc("rowscout.rows_rejected")
                     return False
                 if self._probe_round(bank, logical, config.pattern,
                                      t_lo_ps, t_ps):
                     break
             else:
                 stats.rows_rejected += 1
+                metrics.inc("rowscout.rows_rejected")
                 return False
         return True
 
@@ -262,12 +274,16 @@ class RowScout:
                 raise ConfigError(f"bad row range [{range_lo}, {range_hi})")
             ranges.append((range_lo, range_hi))
 
-        for attempt in range(reference.scan_attempts):
-            if attempt:
-                self.stats.scan_restarts += 1
-            results = self._escalate_once(configs, ranges, reference)
-            if results is not None:
-                return results
+        with self._obs.span("rowscout.find_groups",
+                            banks=len(configs),
+                            groups=sum(c.group_count for c in configs)):
+            for attempt in range(reference.scan_attempts):
+                if attempt:
+                    self.stats.scan_restarts += 1
+                    self._obs.metrics.inc("rowscout.scan_restarts")
+                results = self._escalate_once(configs, ranges, reference)
+                if results is not None:
+                    return results
         raise RetryExhaustedError(
             "could not satisfy all profiling configurations in one bucket "
             f"up to T={reference.max_t_ms} ms "
@@ -342,6 +358,7 @@ class RowScout:
                     pattern=config.pattern,
                 ))
                 self.stats.groups_formed += 1
+                self._obs.metrics.inc("rowscout.groups_formed")
                 used.update(span_rows)
                 if len(groups) >= config.group_count:
                     break
@@ -385,4 +402,5 @@ class RowScout:
                 f"no replacement group available in bank {bad_group.bank}'s "
                 f"bucket ({t_lo_ps}, {t_ps}] ps")
         self.stats.groups_replaced += 1
+        self._obs.metrics.inc("rowscout.groups_replaced")
         return replacement[0]

@@ -40,6 +40,7 @@ from ..dram.commands import HammerMode
 from ..dram.mapping import DirectMapping, RowMapping
 from ..dram.patterns import AllZeros, DataPattern
 from ..errors import ConfigError
+from ..obs import NULL_OBS, Observability
 from ..softmc import SoftMCHost
 from .refclassifier import RefreshSchedule
 from .resilience import AnalyzerStats
@@ -157,7 +158,8 @@ class TrrAnalyzer:
     def __init__(self, host: SoftMCHost, groups: list[RowGroup],
                  schedule: RefreshSchedule | None = None,
                  mapping: RowMapping | None = None, seed: int = 0,
-                 stats: AnalyzerStats | None = None) -> None:
+                 stats: AnalyzerStats | None = None,
+                 obs: Observability | None = None) -> None:
         if not groups:
             raise ConfigError("TrrAnalyzer needs at least one row group")
         retention = {group.retention_ps for group in groups}
@@ -178,6 +180,7 @@ class TrrAnalyzer:
         #: clear of the victims' refresh slots.
         self.schedule = schedule
         self._mapping = mapping or DirectMapping(host.rows_per_bank)
+        self._obs = obs or getattr(host, "obs", None) or NULL_OBS
         self._rng = np.random.default_rng(seed)
         #: Recovery-work counters; pass a shared instance to aggregate
         #: across the many analyzers one inference run creates.
@@ -314,6 +317,7 @@ class TrrAnalyzer:
                     self.schedule_suspects[key] = (
                         self.schedule_suspects.get(key, 0) + 1)
                     self.stats.schedule_violations += 1
+                    self._obs.metrics.inc("analyzer.schedule_violations")
                 observations.append(RowObservation(
                     bank=group.bank, logical_row=logical,
                     physical_row=physical, flipped=flipped,
@@ -321,6 +325,24 @@ class TrrAnalyzer:
         if self.verify_hits:
             observations = self._verify_hits(observations)
         self.stats.experiments += 1
+        obs_bundle = self._obs
+        obs_bundle.metrics.inc("analyzer.experiments")
+        obs_bundle.metrics.observe("analyzer.refs_per_experiment",
+                                   len(ref_indices))
+        for observation in observations:
+            if observation.trr_refreshed:
+                obs_bundle.metrics.inc("analyzer.trr_hits")
+                obs_bundle.event(
+                    "trr-hit", ps=host.now_ps,
+                    bank=observation.bank,
+                    row=observation.logical_row,
+                    physical=observation.physical_row,
+                    ref_lo=ref_indices[0] if ref_indices else -1,
+                    ref_hi=ref_indices[-1] if ref_indices else -1)
+            elif observation.inconclusive:
+                obs_bundle.metrics.inc("analyzer.inconclusive")
+            if observation.flipped:
+                obs_bundle.metrics.inc("analyzer.flipped_rows")
         return ExperimentResult(observations=observations,
                                 ref_indices=ref_indices,
                                 dummy_rows=dummies)
@@ -350,6 +372,7 @@ class TrrAnalyzer:
             if obs.trr_refreshed and not host.read_row_mismatches(
                     obs.bank, obs.logical_row):
                 self.stats.hits_disavowed += 1
+                self._obs.metrics.inc("analyzer.hits_disavowed")
                 obs = dataclasses.replace(obs, regular_possible=True,
                                           confidence=0.0)
             verified.append(obs)
@@ -381,6 +404,7 @@ class TrrAnalyzer:
                 "cannot be repeated without changing what it measures")
         runs = [self.run(config) for _ in range(votes)]
         self.stats.vote_rounds += votes - 1
+        self._obs.metrics.inc("analyzer.vote_rounds", votes - 1)
         consensus: list[RowObservation] = []
         outliers = 0
         split_rows: set[tuple[int, int]] = set()
@@ -402,6 +426,7 @@ class TrrAnalyzer:
                 regular_possible=regular,
                 confidence=agree / (2 * votes)))
         self.stats.outliers_rejected += outliers
+        self._obs.metrics.inc("analyzer.outliers_rejected", outliers)
         unstable: list[int] = []
         if revalidate and split_rows:
             for group_index, group in enumerate(self.groups):
@@ -427,6 +452,7 @@ class TrrAnalyzer:
         """
         host = self._host
         self.stats.groups_revalidated += 1
+        self._obs.metrics.inc("analyzer.groups_revalidated")
         for _ in range(rounds):
             for logical in group.logical_rows:
                 host.write_row(group.bank, logical, group.pattern)

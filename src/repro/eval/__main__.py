@@ -5,6 +5,10 @@ Artifacts: table1, fig8, fig9, fig10, ablations, survey, resilience.
 representative per TRR version; pass ``--modules all`` for the full
 45-module run).  ``resilience`` runs the chaos harness: hardened
 inference under injected faults (``--faults`` picks the fault profile).
+
+Rendered artifacts go to **stdout** and are deterministic for a given
+artifact/scale/module selection; progress and timing go to **stderr**
+as structured ``key=value`` lines (suppressed entirely by ``--quiet``).
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import argparse
 import sys
 import time
 
+from ..obs import StructuredLog, build_manifest
 from ..vendors import all_modules
 from . import (REPRESENTATIVE_MODULES, TABLE1_REPRESENTATIVES, get_scale,
                run_baseline_ablation, run_dummy_count_ablation, run_fig8,
@@ -40,8 +45,16 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["standard", "quick"])
     parser.add_argument("--faults", default="default",
                         help="fault profile for the resilience artifact")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress/timing output on stderr "
+                             "(stdout artifact bytes are unaffected)")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
+    log = StructuredLog(enabled=not args.quiet)
+    manifest = build_manifest(scale=scale.name, artifact=args.artifact,
+                              include_time=False)
+    log.info("run-start", artifact=args.artifact, scale=scale.name,
+             modules=args.modules or "default", git=manifest["git"])
 
     started = time.time()
     if args.artifact == "resilience":
@@ -79,8 +92,8 @@ def main(argv: list[str] | None = None) -> int:
         print(run_baseline_ablation(scale).render())
         print()
         print(run_mitigation_ablation(scale).render())
-    print(f"\n[{args.artifact} done in {time.time() - started:.1f}s "
-          f"at scale '{scale.name}']")
+    log.info("run-done", artifact=args.artifact, scale=scale.name,
+             seconds=round(time.time() - started, 1))
     return 0
 
 

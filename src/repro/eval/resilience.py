@@ -17,11 +17,12 @@ fault handling rather than dodging it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core import InferenceConfig, InferredTrrProfile, TrrInference
 from ..dram import DramChip
 from ..faults import FaultInjector
+from ..obs import build_manifest
 from ..rng import derive_seed
 from ..softmc import SoftMCHost
 from ..vendors import ModuleSpec, get_module
@@ -58,13 +59,14 @@ def hardened_inference_config(**overrides) -> InferenceConfig:
     return InferenceConfig(**defaults)
 
 
-def _chaos_host(spec: ModuleSpec, fault_profile: str,
-                seed: int) -> SoftMCHost:
+def _chaos_host(spec: ModuleSpec, fault_profile: str, seed: int,
+                obs=None) -> SoftMCHost:
     """An inference-friendly chip with a seeded injector at its boundary.
 
     Unlike the quiet evaluation chips, a small VRT population is kept so
     the injector's VRT storms have cells to act on — the hardened Row
-    Scout must reject or quarantine them.
+    Scout must reject or quarantine them.  *obs* optionally records the
+    chaos run's command stream and fault events.
     """
     config = spec.device_config(rows_per_bank=8192, row_bits=1024,
                                 weak_cells_per_row_mean=2.0,
@@ -72,7 +74,8 @@ def _chaos_host(spec: ModuleSpec, fault_profile: str,
     injector = FaultInjector(fault_profile,
                              seed=derive_seed("resilience", seed,
                                               spec.module_id))
-    return SoftMCHost(DramChip(config, spec.make_trr()), faults=injector)
+    return SoftMCHost(DramChip(config, spec.make_trr()), faults=injector,
+                      obs=obs)
 
 
 @dataclass
@@ -85,6 +88,9 @@ class ModuleResilience:
     expected: dict
     fault_counters: dict
     recovery: dict
+    #: Run manifest (seed, fault profile, per-stream RNG seeds, recovery
+    #: counters, git describe) — byte-diffable across identical runs.
+    manifest: dict = field(default_factory=dict)
 
     @property
     def faults_injected(self) -> int:
@@ -160,20 +166,33 @@ class ResilienceReport:
 
 def run_module_resilience(module_id: str, fault_profile: str = "default",
                           seed: int = 0,
-                          config: InferenceConfig | None = None
-                          ) -> ModuleResilience:
-    """One chaos run: hardened inference on *module_id* under faults."""
+                          config: InferenceConfig | None = None,
+                          obs=None) -> ModuleResilience:
+    """One chaos run: hardened inference on *module_id* under faults.
+
+    *obs* optionally records the run (trace/metrics/spans); the returned
+    artifact is always stamped with a run manifest carrying the fault
+    profile, the injector's per-stream RNG seeds and the recovery
+    counters.
+    """
     spec = get_module(module_id)
-    host = _chaos_host(spec, fault_profile, seed)
+    host = _chaos_host(spec, fault_profile, seed, obs=obs)
     inference = TrrInference(host, config or hardened_inference_config())
     profile = inference.run()
+    recovery = inference.stats.as_dict()
+    manifest = build_manifest(
+        seed=seed, module=module_id, fault_profile=fault_profile,
+        include_time=False,
+        fault_stream_seeds=host.faults.stream_seeds(),
+        recovery_counters=recovery)
     return ModuleResilience(
         module_id=module_id,
         fault_profile=fault_profile,
         profile=profile,
         expected=spec.trr_parameters(),
         fault_counters=dict(host.faults.counters),
-        recovery=inference.stats.as_dict())
+        recovery=recovery,
+        manifest=manifest)
 
 
 def run_resilience(module_ids=None, fault_profile: str = "default",

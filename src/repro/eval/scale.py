@@ -63,8 +63,12 @@ class EvalScale:
                         // 8192)
         return max(min(proportional, self.refresh_cycle_refs), 64)
 
-    def build_host(self, spec: ModuleSpec) -> SoftMCHost:
-        """Build the module at this operating point, TRR attached."""
+    def build_host(self, spec: ModuleSpec, obs=None) -> SoftMCHost:
+        """Build the module at this operating point, TRR attached.
+
+        *obs* is an optional :class:`repro.obs.Observability` bundle the
+        host records into (inherited by every pipeline component).
+        """
         config = spec.device_config(rows_per_bank=self.rows_per_bank,
                                     row_bits=self.row_bits)
         config = dataclasses.replace(
@@ -72,7 +76,7 @@ class EvalScale:
             refresh_cycle_refs=self.scaled_cycle(spec),
             disturbance=dataclasses.replace(
                 config.disturbance, hc_first=self.scaled_hc_first(spec)))
-        return SoftMCHost(DramChip(config, spec.make_trr()))
+        return SoftMCHost(DramChip(config, spec.make_trr()), obs=obs)
 
 
 #: Standard benchmark operating point.

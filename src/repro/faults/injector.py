@@ -41,6 +41,7 @@ class FaultInjector:
         self.trace: list[tuple[str, int, int]] = []
         self.counters: dict[str, int] = {}
         self._chip = None
+        self._obs = None
         self._vrt_rng = stream("fault-vrt", seed)
         self._temp_rng = stream("fault-temp", seed)
         self._read_rng = stream("fault-readnoise", seed)
@@ -66,6 +67,21 @@ class FaultInjector:
             self._next_storm_ps = chip.now_ps + self._storm_gap_ps()
         self.advance(chip.now_ps)
 
+    def bind_observability(self, obs) -> None:
+        """Mirror every injected fault into *obs* (metrics + trace).
+
+        Called by the host at construction when both an injector and an
+        observability bundle are present; a null bundle is fine (all the
+        mirrored calls are no-ops then).
+        """
+        self._obs = obs
+
+    def stream_seeds(self) -> dict[str, int]:
+        """The derived seed of each named fault stream (for manifests)."""
+        return {name: derive_seed(name, self.seed)
+                for name in ("fault-vrt", "fault-temp", "fault-readnoise",
+                             "fault-commands", "fault-stale")}
+
     def new_session(self) -> None:
         """Start a new measurement session: stale rows are re-drawn.
 
@@ -82,6 +98,10 @@ class FaultInjector:
     def _record(self, event: str, now_ps: int, detail: int = 0) -> None:
         self.trace.append((event, now_ps, detail))
         self.counters[event] = self.counters.get(event, 0) + 1
+        obs = self._obs
+        if obs is not None:
+            obs.metrics.inc("faults." + event)
+            obs.event("fault:" + event, ps=now_ps, detail=detail)
 
     def fault_count(self) -> int:
         """Total faults injected (sessions excluded)."""

@@ -1,0 +1,125 @@
+"""repro.obs — observability for the U-TRR pipeline.
+
+The paper's methodology treats the DDR command stream plus read-back
+data as the *only* window into a module; this package turns that window
+into auditable artifacts:
+
+- :class:`TraceRecorder` — command-level JSONL traces (ACT/RD/WR/REF/
+  WAIT with host timestamps and REF indices), streamed with bounded
+  memory; :class:`NullRecorder` is the strict-no-op disabled path.
+- :class:`MetricsRegistry` — counters, gauges, and power-of-two
+  histograms threaded through Row Scout, TRR Analyzer, the calibrator,
+  inference, the attack executor, and the fault injector.
+- :class:`SpanTracker` — nested wall-clock stage spans exported as a
+  timeline.
+- :func:`build_manifest` — the run manifest (seed, module, fault
+  profile, scale, git describe) stamped into eval artifacts.
+- :class:`StructuredLog` — key=value progress logging for the CLIs.
+- ``python -m repro.obs.report trace.jsonl`` — trace summarizer and
+  ledger cross-checker.
+- ``python -m repro.obs`` — a traced end-to-end inference smoke run.
+
+Everything is stdlib + numpy only (numpy solely for the version stamp).
+
+:class:`Observability` bundles one recorder + registry + tracker and is
+what the rest of the library passes around; ``NULL_OBS`` is the shared
+all-disabled instance components fall back to, so instrumented code
+never branches on "is observability on?".
+"""
+
+from __future__ import annotations
+
+from .manifest import MANIFEST_SCHEMA, build_manifest, git_describe
+from .metrics import Histogram, MetricsRegistry, NullMetrics, bucket_bound
+from .recorder import (TRACE_VERSION, NullRecorder, TraceRecorder,
+                       read_trace, replay_ledger)
+from .spans import NullSpans, SpanTracker
+from .structlog import StructuredLog
+
+
+class Observability:
+    """One run's observability bundle: recorder + metrics + spans.
+
+    Components accept an ``obs`` argument and fall back to the host's
+    bundle, and finally to :data:`NULL_OBS`; metrics and span calls are
+    made unconditionally (no-ops when disabled), while the per-command
+    host hot path additionally gates on ``recorder.enabled`` /
+    ``metrics.enabled`` so the disabled path costs nothing.
+    """
+
+    def __init__(self, recorder=None, metrics=None, spans=None,
+                 manifest: dict | None = None) -> None:
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanTracker()
+        self.manifest = manifest
+
+    @property
+    def enabled(self) -> bool:
+        return (self.recorder.enabled or self.metrics.enabled
+                or self.spans.enabled)
+
+    def span(self, name: str, **attrs):
+        return self.spans.span(name, **attrs)
+
+    def event(self, kind: str, ps: int = 0, **fields) -> None:
+        """Record a pipeline-level event into the trace (if recording)."""
+        if self.recorder.enabled:
+            self.recorder.event(kind, ps=ps, **fields)
+
+    def export(self) -> dict:
+        """JSON-compatible dump of metrics, spans, and the manifest."""
+        return {"metrics": self.metrics.as_dict(),
+                "spans": self.spans.as_timeline(),
+                "manifest": self.manifest}
+
+    def finalize(self, host=None) -> None:
+        """Close the trace, stamping the host's ledger as the summary.
+
+        *host* is anything exposing ``ref_count`` and ``acts_per_bank``
+        (duck-typed so this package never imports the simulator).
+        """
+        summary = None
+        if host is not None:
+            summary = {
+                "ref_count": host.ref_count,
+                "acts_per_bank": {str(bank): count for bank, count
+                                  in sorted(host.acts_per_bank.items())},
+            }
+        self.recorder.close(summary)
+
+
+#: Shared all-disabled bundle: the default for every instrumented
+#: component.  Never used for a host hot path (hosts gate on ``enabled``).
+NULL_OBS = Observability(recorder=NullRecorder(), metrics=NullMetrics(),
+                         spans=NullSpans())
+
+
+def traced(path, *, manifest: dict | None = None,
+           flush_every: int = 1024) -> Observability:
+    """Convenience: a fully-enabled bundle recording to *path*."""
+    return Observability(
+        recorder=TraceRecorder(path, meta=manifest, flush_every=flush_every),
+        metrics=MetricsRegistry(), spans=SpanTracker(), manifest=manifest)
+
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "TRACE_VERSION",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullRecorder",
+    "NullSpans",
+    "NULL_OBS",
+    "Observability",
+    "SpanTracker",
+    "StructuredLog",
+    "TraceRecorder",
+    "bucket_bound",
+    "build_manifest",
+    "git_describe",
+    "read_trace",
+    "replay_ledger",
+    "traced",
+]

@@ -1,0 +1,66 @@
+"""Run manifests: every artifact carries its own reproduction recipe.
+
+A manifest records everything needed to regenerate a figure, table, or
+chaos artifact from scratch — seed, module, fault profile, evaluation
+scale, the code revision (``git describe``), and the toolchain — as one
+plain JSON-compatible dict.  Stamping it into eval artifacts makes any
+result auditable from its own metadata, and (with ``include_time=False``)
+byte-diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from datetime import datetime, timezone
+
+import numpy
+
+#: Bump when manifest keys change meaning.
+MANIFEST_SCHEMA = 1
+
+
+def git_describe(cwd=None) -> str:
+    """``git describe --always --dirty`` or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True, text=True, timeout=10, cwd=cwd)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def build_manifest(*, seed=None, module=None, fault_profile=None,
+                   scale=None, include_time: bool = True,
+                   **extra) -> dict:
+    """Assemble a run manifest.
+
+    Keyword-only core fields are included when not None; *extra* fields
+    are merged verbatim (JSON-compatible values only).  With
+    ``include_time=False`` the manifest is fully deterministic for a
+    given checkout, which is what chaos artifacts use so two runs of the
+    same PR diff clean.
+    """
+    manifest: dict = {
+        "schema": MANIFEST_SCHEMA,
+        "generator": "repro.obs",
+        "git": git_describe(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+    if include_time:
+        manifest["created_utc"] = datetime.now(timezone.utc).isoformat(
+            timespec="seconds")
+    if seed is not None:
+        manifest["seed"] = seed
+    if module is not None:
+        manifest["module"] = module
+    if fault_profile is not None:
+        manifest["fault_profile"] = fault_profile
+    if scale is not None:
+        manifest["scale"] = scale
+    manifest.update(extra)
+    return manifest

@@ -1,0 +1,161 @@
+"""Zero-dependency metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is the pipeline's quantitative memory — how
+many hammers landed per REF window, how many validation rounds were
+retried, how many faults fired — kept as plain named numbers so any run
+can be summarized, exported to JSON, and diffed against another run.
+
+Histograms bucket observations by powers of two (the same shape DRAM
+quantities naturally take: hammer counts, REF bursts, retry tallies),
+keeping memory constant regardless of how many values stream in.
+
+:class:`NullMetrics` is the disabled path: every method is a no-op and
+``enabled`` is False so hot paths can skip the call entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def bucket_bound(value: float) -> int:
+    """Power-of-two upper bound bucketing a non-negative observation.
+
+    >>> [bucket_bound(v) for v in (0, 1, 2, 3, 9, 1024)]
+    [0, 1, 2, 4, 16, 1024]
+    """
+    v = int(value)
+    if v <= 0:
+        return 0
+    return 1 << (v - 1).bit_length()
+
+
+@dataclass
+class Histogram:
+    """Bounded-memory distribution summary (power-of-two buckets)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+    #: Power-of-two upper bound -> observation count.
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bound = bucket_bound(value)
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max,
+                "mean": round(self.mean, 3),
+                "buckets": {str(k): v
+                            for k, v in sorted(self.buckets.items())}}
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- writers -------------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- readers -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        return {name: value for name, value in sorted(self._counters.items())
+                if name.startswith(prefix)}
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {name: histogram.as_dict()
+                           for name, histogram
+                           in sorted(self._histograms.items())},
+        }
+
+    def render(self) -> str:
+        """Human-readable dump, one metric per line."""
+        lines = []
+        for name, value in sorted(self._counters.items()):
+            lines.append(f"  {name} = {value}")
+        for name, value in sorted(self._gauges.items()):
+            lines.append(f"  {name} = {value}")
+        for name, histogram in sorted(self._histograms.items()):
+            lines.append(
+                f"  {name} : count={histogram.count} "
+                f"mean={histogram.mean:.1f} min={histogram.min} "
+                f"max={histogram.max}")
+        return "\n".join(lines) if lines else "  (no metrics)"
+
+
+class NullMetrics:
+    """The disabled registry: all writers are strict no-ops."""
+
+    enabled = False
+
+    def inc(self, name: str, value: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def gauge(self, name: str) -> float | None:
+        return None
+
+    def histogram(self, name: str) -> Histogram | None:
+        return None
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        return {}
+
+    def as_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def render(self) -> str:
+        return "  (metrics disabled)"

@@ -1,0 +1,215 @@
+"""Trace summarizer CLI: ``python -m repro.obs.report trace.jsonl``.
+
+Renders a command-level trace into the experimenter's view of the run:
+
+- record totals by command type,
+- the REF-interval timeline (activations landing between successive REF
+  bursts, summarized as a power-of-two histogram),
+- per-bank ACT totals (the activation pressure map),
+- the TRR-hit event log (pipeline-level ``trr-hit`` events) and injected
+  fault totals,
+- a **ledger cross-check**: the trace is replayed command by command and
+  the reconstructed ACT/REF counts must exactly match the host's own
+  ledger stamped in the trace summary.  A mismatch means the trace is
+  not a faithful record of the run and the CLI exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+from .metrics import Histogram
+from .recorder import read_trace, replay_ledger
+
+
+@dataclass
+class TraceReport:
+    """Everything the renderer needs, computed in one pass."""
+
+    replay: dict
+    #: (ref_index, ps, acts_since_previous_ref_burst) per REF record.
+    ref_timeline: list[tuple[int, int, int]] = field(default_factory=list)
+    acts_between_refs: Histogram = field(default_factory=Histogram)
+    per_bank_acts: dict[int, int] = field(default_factory=dict)
+    trr_hits: list[dict] = field(default_factory=list)
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    other_events: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ledger_ok(self) -> bool:
+        summary = self.replay["summary"]
+        if summary is None:
+            return False
+        return (summary.get("ref_count") == self.replay["ref_count"]
+                and summary.get("acts_per_bank")
+                == self.replay["acts_per_bank"])
+
+
+def summarize(records) -> TraceReport:
+    """One-pass summary of an iterable of trace records."""
+    records = list(records)
+    report = TraceReport(replay=replay_ledger(records))
+    window_acts = 0
+    for record in records:
+        if record.get("type") is not None:
+            continue
+        op = record["t"]
+        if op in ("WR", "RD"):
+            bank = record["bk"]
+            report.per_bank_acts[bank] = (
+                report.per_bank_acts.get(bank, 0) + 1)
+            window_acts += 1
+        elif op == "ACT":
+            bank = record["bk"]
+            report.per_bank_acts[bank] = (
+                report.per_bank_acts.get(bank, 0) + record["n"])
+            window_acts += record["n"]
+        elif op == "REF":
+            report.ref_timeline.append(
+                (record["idx"], record["ps"], window_acts))
+            report.acts_between_refs.observe(window_acts)
+            window_acts = 0
+        elif op == "EVT":
+            kind = record["kind"]
+            if kind == "trr-hit":
+                report.trr_hits.append(record)
+            elif kind.startswith("fault:"):
+                name = kind[len("fault:"):]
+                report.fault_counts[name] = (
+                    report.fault_counts.get(name, 0) + 1)
+            else:
+                report.other_events[kind] = (
+                    report.other_events.get(kind, 0) + 1)
+    return report
+
+
+def _render_bar(value: int, peak: int, width: int = 36) -> str:
+    if peak <= 0 or value <= 0:
+        return ""
+    return "#" * max(1, round(width * value / peak))
+
+
+def render_report(report: TraceReport, max_hits: int = 40) -> str:
+    """Plain-text rendering of a :func:`summarize` result."""
+    replay = report.replay
+    lines = ["Trace report", "============", ""]
+    header = replay["header"] or {}
+    meta = header.get("meta") or {}
+    lines.append(f"schema version : {header.get('version', '?')}")
+    for key in ("module", "fault_profile", "seed", "scale", "git"):
+        if key in meta:
+            lines.append(f"{key:<15}: {meta[key]}")
+    lines.append("")
+
+    lines.append("Record totals")
+    lines.append("-------------")
+    for op, count in sorted(replay["by_type"].items()):
+        lines.append(f"  {op:<5} {count:>10}")
+    lines.append(f"  total {replay['events']:>10}")
+    lines.append("")
+
+    lines.append("REF-interval timeline (ACTs between REF bursts)")
+    lines.append("-----------------------------------------------")
+    histogram = report.acts_between_refs
+    if histogram.count:
+        lines.append(f"  REF bursts: {histogram.count}  "
+                     f"mean ACTs/interval: {histogram.mean:.1f}  "
+                     f"max: {histogram.max}")
+        peak = max(histogram.buckets.values())
+        for bound, count in sorted(histogram.buckets.items()):
+            lines.append(f"  <= {bound!s:>8} | {count:>8} "
+                         f"{_render_bar(count, peak)}")
+        first = report.ref_timeline[0]
+        last = report.ref_timeline[-1]
+        lines.append(f"  first REF: idx={first[0]} ps={first[1]}  "
+                     f"last REF: idx={last[0]} ps={last[1]}")
+    else:
+        lines.append("  (no REF records)")
+    lines.append("")
+
+    lines.append("Per-bank ACT totals")
+    lines.append("-------------------")
+    if report.per_bank_acts:
+        peak = max(report.per_bank_acts.values())
+        for bank, count in sorted(report.per_bank_acts.items()):
+            lines.append(f"  bank {bank:>3} | {count:>12} "
+                         f"{_render_bar(count, peak)}")
+    else:
+        lines.append("  (no activations)")
+    lines.append("")
+
+    lines.append("TRR-hit event log")
+    lines.append("-----------------")
+    if report.trr_hits:
+        for hit in report.trr_hits[:max_hits]:
+            where = " ".join(f"{key}={hit[key]}" for key in sorted(hit)
+                             if key not in ("t", "kind"))
+            lines.append(f"  trr-hit {where}")
+        if len(report.trr_hits) > max_hits:
+            lines.append(f"  ... {len(report.trr_hits) - max_hits} more "
+                         f"({len(report.trr_hits)} total)")
+    else:
+        lines.append("  (no TRR hits recorded)")
+    lines.append("")
+
+    if report.fault_counts:
+        lines.append("Injected faults")
+        lines.append("---------------")
+        for name, count in sorted(report.fault_counts.items()):
+            lines.append(f"  {name:<16} {count:>8}")
+        lines.append("")
+
+    lines.append("Ledger cross-check")
+    lines.append("------------------")
+    summary = replay["summary"]
+    if summary is None:
+        lines.append("  FAIL: trace has no summary record (host ledger "
+                     "missing — was the recorder finalized?)")
+    else:
+        lines.append(f"  replayed REFs : {replay['ref_count']}  "
+                     f"(ledger {summary.get('ref_count')})")
+        replayed_acts = sum(replay["acts_per_bank"].values())
+        ledger_acts = sum(summary.get("acts_per_bank", {}).values())
+        lines.append(f"  replayed ACTs : {replayed_acts}  "
+                     f"(ledger {ledger_acts})")
+        lines.append("  result        : "
+                     + ("OK — trace replays to the host ledger exactly"
+                        if report.ledger_ok else
+                        "MISMATCH — trace does not replay to the ledger"))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a repro.obs command trace and cross-check "
+                    "it against the host ledger.")
+    parser.add_argument("trace", help="path to a trace .jsonl file")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    parser.add_argument("--max-hits", type=int, default=40,
+                        help="TRR-hit log lines to show (default 40)")
+    args = parser.parse_args(argv)
+
+    report = summarize(read_trace(args.trace))
+    if args.json:
+        payload = {
+            "replay": report.replay,
+            "acts_between_refs": report.acts_between_refs.as_dict(),
+            "per_bank_acts": {str(bank): count for bank, count
+                              in sorted(report.per_bank_acts.items())},
+            "trr_hits": report.trr_hits,
+            "fault_counts": report.fault_counts,
+            "ledger_ok": report.ledger_ok,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(report, max_hits=args.max_hits))
+    return 0 if report.ledger_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

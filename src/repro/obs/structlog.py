@@ -1,0 +1,54 @@
+"""Structured logging for the CLIs (key=value lines, zero dependencies).
+
+The eval entry points used to sprinkle ad-hoc ``print()`` calls for
+progress and timing; those lines were unparseable and polluted stdout
+(where the rendered artifacts live).  :class:`StructuredLog` replaces
+them: every message is one ``event=... key=value ...`` line on *stderr*,
+trivially grep-able, and suppressible as a whole (``--quiet``) without
+touching the artifact bytes on stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        text = f"{value:.3f}".rstrip("0").rstrip(".")
+    else:
+        text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+class StructuredLog:
+    """Line-oriented key=value logger.
+
+    ``enabled=False`` silences everything — the ``--quiet`` contract is
+    that stdout stays byte-stable and stderr stays empty.
+    """
+
+    def __init__(self, stream: IO[str] | None = None,
+                 enabled: bool = True) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        if not self.enabled:
+            return
+        parts = [f"event={_format_value(event)}", f"level={level}"]
+        parts.extend(f"{key}={_format_value(value)}"
+                     for key, value in fields.items())
+        self._stream.write(" ".join(parts) + "\n")
+
+    def info(self, event: str, **fields) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit("error", event, fields)

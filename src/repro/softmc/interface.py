@@ -25,6 +25,7 @@ from ..units import ms, us
 
 if TYPE_CHECKING:
     from ..faults import FaultInjector
+    from ..obs import Observability
 
 
 class SoftMCHost:
@@ -35,14 +36,34 @@ class SoftMCHost:
     and readback data transiently corrupted, while the injector drives
     the chip's physical environment (VRT storms, temperature drift).
     Without an injector every operation reaches the chip verbatim.
+
+    An optional :class:`~repro.obs.Observability` bundle records the
+    command stream the host issues (the experimenter's only window into
+    the module) and the activation pressure per REF window.  The
+    recorder and metrics slots are resolved once at construction: with a
+    null/absent bundle both cache to ``None`` and every per-command hook
+    reduces to a single ``is not None`` check, keeping the disabled path
+    within the benchmarked overhead bound.
     """
 
     def __init__(self, chip: DramChip,
-                 faults: "FaultInjector | None" = None) -> None:
+                 faults: "FaultInjector | None" = None,
+                 obs: "Observability | None" = None) -> None:
         self._chip = chip
         self._faults = faults
+        self._obs = obs
+        recorder = obs.recorder if obs is not None else None
+        self._rec = recorder if (recorder is not None
+                                 and recorder.enabled) else None
+        metrics = obs.metrics if obs is not None else None
+        self._metrics = metrics if (metrics is not None
+                                    and metrics.enabled) else None
+        #: ACTs accumulated since the last REF burst (metrics only).
+        self._window_acts = 0
         if faults is not None:
             faults.attach(chip)
+            if obs is not None:
+                faults.bind_observability(obs)
         #: REF commands issued by this host (the experimenter's counter;
         #: regular-refresh periodicity is expressed in this index).
         self.ref_count = 0
@@ -54,12 +75,26 @@ class SoftMCHost:
     def faults(self) -> "FaultInjector | None":
         return self._faults
 
+    @property
+    def obs(self) -> "Observability | None":
+        """The observability bundle, inherited by pipeline components."""
+        return self._obs
+
+    def ledger(self) -> dict:
+        """The host's own counts, in trace-summary shape."""
+        return {"ref_count": self.ref_count,
+                "acts_per_bank": {str(bank): count for bank, count
+                                  in sorted(self.acts_per_bank.items())}}
+
     def _tick(self) -> None:
         if self._faults is not None:
             self._faults.advance(self._chip.now_ps)
 
     def _count_acts(self, bank: int, count: int) -> None:
         self.acts_per_bank[bank] = self.acts_per_bank.get(bank, 0) + count
+        if self._metrics is not None:
+            self._window_acts += count
+            self._metrics.inc("host.acts", count)
 
     # -- experimenter-visible module facts ---------------------------------
 
@@ -92,6 +127,8 @@ class SoftMCHost:
 
     def write_row(self, bank: int, row: int, pattern: DataPattern) -> None:
         """Write *pattern* into the row (logical addressing)."""
+        if self._rec is not None:
+            self._rec.on_write(self._chip.now_ps, bank, row)
         self._count_acts(bank, 1)
         self._tick()
         if self._faults is not None and self._faults.drop_write(
@@ -101,6 +138,8 @@ class SoftMCHost:
 
     def read_row(self, bank: int, row: int) -> np.ndarray:
         """Read the row's current bits."""
+        if self._rec is not None:
+            self._rec.on_read(self._chip.now_ps, bank, row)
         self._count_acts(bank, 1)
         self._tick()
         bits = self._chip.read_row(bank, row)
@@ -110,6 +149,8 @@ class SoftMCHost:
 
     def read_row_mismatches(self, bank: int, row: int) -> list[int]:
         """Bit positions differing from the last written data."""
+        if self._rec is not None:
+            self._rec.on_read(self._chip.now_ps, bank, row)
         self._count_acts(bank, 1)
         self._tick()
         mismatches = self._chip.read_row_mismatches(bank, row)
@@ -124,11 +165,16 @@ class SoftMCHost:
                mode: HammerMode = HammerMode.INTERLEAVED) -> None:
         """Hammer rows of one bank with per-row counts in *mode* order."""
         entries = tuple((row, count) for row, count in pattern)
+        if self._rec is not None:
+            self._rec.on_act(self._chip.now_ps, bank, entries, mode)
         self._count_acts(bank, sum(count for _, count in entries))
         self._hammer_batch(ActBatch(bank=bank, pattern=entries, mode=mode))
 
     def hammer_single(self, bank: int, row: int, count: int) -> None:
         """Hammer one row *count* times (a cascaded run)."""
+        if self._rec is not None:
+            self._rec.on_act(self._chip.now_ps, bank, ((row, count),),
+                             HammerMode.CASCADED)
         self._count_acts(bank, count)
         self._hammer_batch(ActBatch(bank=bank, pattern=((row, count),),
                                     mode=HammerMode.CASCADED))
@@ -150,6 +196,9 @@ class SoftMCHost:
             for bank, rows in per_bank.items()
         ]
         for batch in batches:
+            if self._rec is not None:
+                self._rec.on_act(self._chip.now_ps, batch.bank,
+                                 batch.pattern, batch.mode)
             self._count_acts(batch.bank, batch.total)
         self._tick()
         self._chip.hammer_multi(batches)
@@ -164,6 +213,14 @@ class SoftMCHost:
         back-to-back (each still occupying tRFC).
         """
         spacing = self.timing.trefi_ps if at_nominal_rate else None
+        if self._rec is not None:
+            self._rec.on_ref(self._chip.now_ps, self.ref_count, count,
+                             nominal=at_nominal_rate)
+        if self._metrics is not None:
+            self._metrics.observe("host.acts_per_ref_window",
+                                  self._window_acts)
+            self._metrics.inc("host.refs", count)
+            self._window_acts = 0
         self._tick()
         if self._faults is not None and self._faults.perturbs_refs:
             self._refresh_faulty(count, spacing)
@@ -193,6 +250,8 @@ class SoftMCHost:
 
     def wait(self, duration_ps: int) -> None:
         """Idle without issuing any command (refresh stays disabled)."""
+        if self._rec is not None:
+            self._rec.on_wait(self._chip.now_ps, duration_ps)
         self._chip.wait(duration_ps)
         self._tick()
 

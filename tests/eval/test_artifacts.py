@@ -50,3 +50,24 @@ def test_cli_runs_quick_fig9(capsys):
 def test_cli_rejects_unknown_artifact():
     with pytest.raises(SystemExit):
         eval_main(["fig77"])
+
+
+def test_cli_quiet_keeps_stdout_byte_stable(monkeypatch, capsys):
+    """--quiet only silences stderr; the stdout artifact is unchanged."""
+
+    class _Stub:
+        def render(self):
+            return "Figure 9 (stub)"
+
+    monkeypatch.setattr("repro.eval.__main__.run_fig9",
+                        lambda modules, scale: _Stub())
+
+    assert eval_main(["fig9", "--scale", "quick"]) == 0
+    loud = capsys.readouterr()
+    assert eval_main(["fig9", "--scale", "quick", "--quiet"]) == 0
+    quiet = capsys.readouterr()
+
+    assert quiet.out == loud.out
+    assert quiet.err == ""
+    assert "event=run-start" in loud.err
+    assert "event=run-done" in loud.err

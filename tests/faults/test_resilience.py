@@ -14,3 +14,15 @@ def test_module_recovers_under_default_faults(module_id):
     assert result.faults_injected > 0
     assert result.recovery_work > 0, result.recovery
     assert result.recovered, (result.profile.summary(), result.expected)
+
+    # The chaos artifact is stamped with a byte-diffable run manifest.
+    manifest = result.manifest
+    assert manifest["module"] == module_id
+    assert manifest["fault_profile"] == "default"
+    assert manifest["seed"] == 0
+    assert "created_utc" not in manifest
+    assert isinstance(manifest["git"], str)
+    assert set(manifest["fault_stream_seeds"]) == {
+        "fault-vrt", "fault-temp", "fault-readnoise", "fault-commands",
+        "fault-stale"}
+    assert manifest["recovery_counters"] == result.recovery

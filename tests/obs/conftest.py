@@ -1,0 +1,40 @@
+"""Helpers for observability tests: small hosts and fixed workloads."""
+
+from __future__ import annotations
+
+from repro.dram import (DeviceConfig, DisturbanceConfig, DramChip,
+                        HammerMode, RetentionConfig)
+from repro.dram.patterns import AllOnes
+from repro.softmc import SoftMCHost
+
+
+def small_host(obs=None, serial=7) -> SoftMCHost:
+    """A tiny module for pure command-stream tests (no profiling)."""
+    config = DeviceConfig(
+        name="obs-test", serial=serial, num_banks=2,
+        rows_per_bank=4096, row_bits=64, refresh_cycle_refs=1024)
+    return SoftMCHost(DramChip(config), obs=obs)
+
+
+def scout_host(obs=None, serial=7) -> SoftMCHost:
+    """A chip dense enough in weak rows for Row Scout (as in core tests)."""
+    config = DeviceConfig(
+        name="obs-scout", serial=serial, num_banks=4,
+        rows_per_bank=8192, row_bits=1024, refresh_cycle_refs=2048,
+        retention=RetentionConfig(weak_cells_per_row_mean=2.0),
+        disturbance=DisturbanceConfig(hc_first=12_000))
+    return SoftMCHost(DramChip(config), obs=obs)
+
+
+def drive(host: SoftMCHost) -> None:
+    """A fixed workload touching every host command type."""
+    pattern = AllOnes()
+    host.write_row(0, 10, pattern)
+    host.read_row(0, 10)
+    host.read_row_mismatches(1, 20)
+    host.hammer(0, [(30, 7), (32, 5)], HammerMode.INTERLEAVED)
+    host.hammer_single(1, 40, 11)
+    host.hammer_multi({0: [(50, 3)], 1: [(60, 2)]})
+    host.refresh(4)
+    host.wait_us(50)
+    host.refresh(1, at_nominal_rate=True)

@@ -1,0 +1,90 @@
+"""JSONL trace round-trip fidelity, replay, and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProfilingConfig, RowGroupLayout, RowScout
+from repro.errors import ConfigError
+from repro.obs import TRACE_VERSION, read_trace, replay_ledger, traced
+from .conftest import drive, scout_host, small_host
+
+
+def test_round_trip_and_ledger_replay(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    obs = traced(path, manifest={"module": "unit-test", "seed": 0})
+    host = small_host(obs=obs)
+    drive(host)
+    obs.event("trr-hit", ps=host.now_ps, bank=0, row=30)
+    obs.finalize(host)
+
+    records = list(read_trace(path))
+    assert records[0]["type"] == "header"
+    assert records[0]["version"] == TRACE_VERSION
+    assert records[0]["meta"]["module"] == "unit-test"
+    assert records[-1]["type"] == "summary"
+
+    replay = replay_ledger(records)
+    # The replayed ACT/REF counts must match the host's own ledger
+    # exactly: 1 implicit ACT per WR/RD, n per hammer batch, n per REF.
+    assert replay["ref_count"] == host.ref_count
+    assert replay["acts_per_bank"] == host.ledger()["acts_per_bank"]
+    assert replay["summary"]["ref_count"] == host.ref_count
+    assert replay["by_type"] == {"WR": 1, "RD": 2, "ACT": 4, "REF": 2,
+                                 "WAIT": 1, "EVT": 1}
+
+
+def test_record_field_fidelity(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    obs = traced(path)
+    host = small_host(obs=obs)
+    drive(host)
+    obs.finalize(host)
+
+    records = [r for r in read_trace(path) if r.get("type") is None]
+    acts = [r for r in records if r["t"] == "ACT"]
+    assert acts[0]["rows"] == [[30, 7], [32, 5]]
+    assert acts[0]["n"] == 12
+    assert acts[0]["mode"] == "interleaved"
+    assert acts[1]["mode"] == "cascaded"
+    refs = [r for r in records if r["t"] == "REF"]
+    # idx is the host REF counter *before* the burst.
+    assert refs[0]["idx"] == 0 and refs[0]["n"] == 4
+    assert refs[1]["idx"] == 4 and refs[1].get("nominal") is True
+    waits = [r for r in records if r["t"] == "WAIT"]
+    assert waits[0]["dur"] == 50_000_000
+    # Every command record carries the host picosecond clock.
+    assert all(r["ps"] >= 0 for r in records)
+    assert [r["ps"] for r in records] == sorted(r["ps"] for r in records)
+
+
+def test_flush_bounding_and_close(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    obs = traced(path, flush_every=2)
+    host = small_host(obs=obs)
+    drive(host)
+    events = obs.recorder.events
+    obs.finalize(host)
+    lines = path.read_text().strip().split("\n")
+    assert len(lines) == events + 2  # header + summary
+    with pytest.raises(ConfigError):
+        obs.recorder.on_write(0, 0, 0)
+
+
+def test_identical_seeds_produce_identical_traces(tmp_path):
+    """Traces carry only simulation-derived fields, so two identically
+    seeded pipeline runs are byte-identical."""
+
+    def one_run(path) -> bytes:
+        obs = traced(path)
+        host = scout_host(obs=obs, serial=11)
+        RowScout(host).find_groups(ProfilingConfig(
+            bank=0, layout=RowGroupLayout.parse("R-R"), group_count=2,
+            validation_rounds=4))
+        obs.finalize(host)
+        return path.read_bytes()
+
+    first = one_run(tmp_path / "a.jsonl")
+    second = one_run(tmp_path / "b.jsonl")
+    assert first == second
+    assert len(first) > 0

@@ -1,0 +1,54 @@
+"""The trace-report CLI: rendering, JSON mode, and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import traced
+from repro.obs.report import main, render_report, summarize
+from repro.obs.recorder import read_trace
+from .conftest import drive, small_host
+
+
+def _make_trace(path, finalize=True):
+    obs = traced(path, manifest={"module": "B0", "seed": 1})
+    host = small_host(obs=obs)
+    drive(host)
+    obs.event("trr-hit", ps=host.now_ps, bank=0, row=30, physical=30)
+    obs.finalize(host if finalize else None)
+    return host
+
+
+def test_report_sections_and_ok(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    _make_trace(path)
+    report = summarize(read_trace(path))
+    assert report.ledger_ok
+    text = render_report(report)
+    assert "Record totals" in text
+    assert "REF-interval timeline" in text
+    assert "Per-bank ACT totals" in text
+    assert "trr-hit bank=0" in text
+    assert "OK — trace replays to the host ledger exactly" in text
+    assert "module" in text and "B0" in text
+
+
+def test_cli_exit_zero_and_json(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    _make_trace(path)
+    assert main([str(path)]) == 0
+    assert "Trace report" in capsys.readouterr().out
+
+    assert main([str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ledger_ok"] is True
+    assert payload["replay"]["ref_count"] == 5
+    assert payload["per_bank_acts"].keys() == {"0", "1"}
+
+
+def test_cli_fails_without_summary(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    _make_trace(path, finalize=False)
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL: trace has no summary record" in out

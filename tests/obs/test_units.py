@@ -1,0 +1,156 @@
+"""Unit tests for the observability building blocks."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import (Histogram, MetricsRegistry, NullMetrics, NullSpans,
+                       SpanTracker, StructuredLog, bucket_bound,
+                       build_manifest, git_describe)
+
+
+# -- histogram bucketing -----------------------------------------------------
+
+def test_bucket_bound_powers_of_two():
+    assert [bucket_bound(v) for v in (0, 1, 2, 3, 9, 1024)] == \
+        [0, 1, 2, 4, 16, 1024]
+    assert bucket_bound(-5) == 0
+
+
+def test_histogram_observe_and_export():
+    histogram = Histogram()
+    for value in (1, 2, 3, 9):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.min == 1 and histogram.max == 9
+    assert histogram.mean == 3.75
+    exported = histogram.as_dict()
+    assert exported["buckets"] == {"1": 1, "2": 1, "4": 1, "16": 1}
+    assert exported["mean"] == 3.75
+
+
+def test_empty_histogram_mean_is_zero():
+    assert Histogram().mean == 0.0
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_registry_counters_gauges_histograms():
+    metrics = MetricsRegistry()
+    metrics.inc("scout.rows")
+    metrics.inc("scout.rows", 4)
+    metrics.set_gauge("host.temp_c", 45.0)
+    metrics.observe("acts_per_ref", 12)
+    metrics.observe("acts_per_ref", 20)
+
+    assert metrics.counter("scout.rows") == 5
+    assert metrics.counter("missing") == 0
+    assert metrics.gauge("host.temp_c") == 45.0
+    assert metrics.gauge("missing") is None
+    assert metrics.histogram("acts_per_ref").count == 2
+    assert metrics.counters_with_prefix("scout.") == {"scout.rows": 5}
+
+    exported = metrics.as_dict()
+    assert exported["counters"] == {"scout.rows": 5}
+    assert exported["gauges"] == {"host.temp_c": 45.0}
+    assert exported["histograms"]["acts_per_ref"]["count"] == 2
+    assert "scout.rows = 5" in metrics.render()
+
+
+def test_null_metrics_is_inert():
+    metrics = NullMetrics()
+    metrics.inc("x")
+    metrics.observe("y", 3)
+    metrics.set_gauge("z", 1.0)
+    assert metrics.enabled is False
+    assert metrics.counter("x") == 0
+    assert metrics.histogram("y") is None
+    assert metrics.counters_with_prefix("") == {}
+    assert metrics.render() == "  (metrics disabled)"
+
+
+# -- spans -------------------------------------------------------------------
+
+def test_span_nesting_with_injected_clock():
+    ticks = iter(range(100))
+    tracker = SpanTracker(clock=lambda: next(ticks))
+    with tracker.span("outer", bank=0):
+        with tracker.span("inner"):
+            pass
+    timeline = tracker.as_timeline()
+    assert [entry["name"] for entry in timeline] == ["outer", "inner"]
+    outer, inner = timeline
+    assert outer["depth"] == 0 and outer["parent"] is None
+    assert inner["depth"] == 1 and inner["parent"] == 0
+    assert outer["attrs"] == {"bank": 0}
+    # Origin is tick 0; outer spans ticks 1-4, inner spans ticks 2-3.
+    assert outer["duration_s"] == 3
+    assert inner["duration_s"] == 1
+    render = tracker.render()
+    assert "outer" in render and "    inner" in render
+
+
+def test_span_closed_even_on_exception():
+    tracker = SpanTracker(clock=lambda: 0.0)
+    try:
+        with tracker.span("boom"):
+            raise ValueError()
+    except ValueError:
+        pass
+    assert tracker.as_timeline()[0]["duration_s"] == 0.0
+
+
+def test_null_spans():
+    spans = NullSpans()
+    with spans.span("anything", k=1):
+        pass
+    assert spans.enabled is False
+    assert spans.as_timeline() == []
+
+
+# -- structured logging ------------------------------------------------------
+
+def test_structured_log_formatting():
+    stream = io.StringIO()
+    log = StructuredLog(stream=stream)
+    log.info("run-start", scale="quick", seconds=1.25, note="two words")
+    log.warning("retry", count=3)
+    lines = stream.getvalue().splitlines()
+    assert lines[0] == ('event=run-start level=info scale=quick '
+                       'seconds=1.25 note="two words"')
+    assert lines[1] == "event=retry level=warning count=3"
+
+
+def test_structured_log_quiet_is_silent():
+    stream = io.StringIO()
+    log = StructuredLog(stream=stream, enabled=False)
+    log.info("x")
+    log.error("y", detail="z")
+    assert stream.getvalue() == ""
+
+
+# -- manifest ----------------------------------------------------------------
+
+def test_manifest_deterministic_without_time():
+    first = build_manifest(seed=3, module="B0", fault_profile="default",
+                           scale="smoke", include_time=False, extra_key=7)
+    second = build_manifest(seed=3, module="B0", fault_profile="default",
+                            scale="smoke", include_time=False, extra_key=7)
+    assert first == second
+    assert "created_utc" not in first
+    assert first["seed"] == 3 and first["module"] == "B0"
+    assert first["fault_profile"] == "default"
+    assert first["scale"] == "smoke"
+    assert first["extra_key"] == 7
+    assert isinstance(first["git"], str) and first["git"]
+
+
+def test_manifest_with_time():
+    manifest = build_manifest()
+    assert "created_utc" in manifest
+    assert "seed" not in manifest
+
+
+def test_git_describe_returns_string_anywhere(tmp_path):
+    assert isinstance(git_describe(), str)
+    assert git_describe(cwd=tmp_path) == "unknown"
