@@ -30,32 +30,118 @@ from .retention import (RetentionConfig, RowRetentionProfile,
 
 _EPOCH_PATTERN = AllZeros()
 
+_EMPTY_POSITIONS = np.empty(0, dtype=np.int64)
+_EMPTY_VALUES = np.empty(0, dtype=np.uint8)
+_EMPTY_POSITIONS.setflags(write=False)
+_EMPTY_VALUES.setflags(write=False)
+
 
 class RowState:
-    """Mutable state of one tracked (materialized) row."""
+    """Mutable state of one tracked (materialized) row.
 
-    __slots__ = ("pattern", "faults", "last_recharge_ps", "disturbance",
-                 "retention_profile", "hammer_profile")
+    The fault overlay is a pair of parallel vectors — sorted unique bit
+    positions plus their stored values — instead of a ``dict``: every
+    consumer (settle, read, mismatch scan) touches the whole overlay at
+    once, so array operations replace per-cell Python loops.
+    """
+
+    __slots__ = ("pattern", "fault_positions", "fault_values",
+                 "last_recharge_ps", "disturbance",
+                 "retention_profile", "hammer_profile", "_overlay_cache")
 
     def __init__(self, pattern: DataPattern, last_recharge_ps: int) -> None:
         self.pattern = pattern
-        #: Sparse overlay: bit position -> stored bit differing from pattern.
-        self.faults: dict[int, int] = {}
+        #: Sparse overlay, parallel vectors: sorted unique bit positions
+        #: (int64) and the stored bit at each (uint8).
+        self.fault_positions: np.ndarray = _EMPTY_POSITIONS
+        self.fault_values: np.ndarray = _EMPTY_VALUES
         self.last_recharge_ps = last_recharge_ps
         #: Accumulated effective hammers since the last charge restoration.
         self.disturbance = 0.0
         self.retention_profile: RowRetentionProfile | None = None
         self.hammer_profile: RowHammerProfile | None = None
+        #: Overlay-lookup memo for ``stored_bits_at``: needle-array id ->
+        #: (overlay ref, needles ref, hit mask, overlay indices).  Most
+        #: settles commit nothing, so the overlay and both profile
+        #: position arrays are unchanged between observations; holding
+        #: references keeps the ids valid while entries live.
+        self._overlay_cache: dict[int, tuple] = {}
+
+    def clear_faults(self) -> None:
+        self.fault_positions = _EMPTY_POSITIONS
+        self.fault_values = _EMPTY_VALUES
+
+    def overlay_faults(self, positions: np.ndarray,
+                       values: np.ndarray) -> None:
+        """Merge new faults into the overlay (later entries win).
+
+        Within *positions* a repeated bit position keeps its **last**
+        value, matching the insertion order of the per-cell loop this
+        replaces; against the existing overlay, new entries override.
+        """
+        if positions.size == 0:
+            return
+        if positions.size == 1 or bool((positions[1:] > positions[:-1])
+                                       .all()):
+            # Already sorted unique (settle's commits always are — they
+            # index into sorted profile positions): skip the dedup sort.
+            uniq = positions
+            new_values = values.astype(np.uint8, copy=False)
+        else:
+            # Dedup keeping the last occurrence: the first occurrence in
+            # the reversed array is the last in the original.
+            uniq, first_in_reversed = np.unique(positions[::-1],
+                                                return_index=True)
+            new_values = np.ascontiguousarray(
+                values[::-1][first_in_reversed]).astype(np.uint8,
+                                                        copy=False)
+        old_positions = self.fault_positions
+        if old_positions.size:
+            kept = ~_membership_mask(uniq, old_positions)
+            merged_positions = np.concatenate(
+                [old_positions[kept], uniq])
+            merged_values = np.concatenate(
+                [self.fault_values[kept], new_values])
+            order = np.argsort(merged_positions, kind="stable")
+            self.fault_positions = merged_positions[order]
+            self.fault_values = merged_values[order]
+        else:
+            self.fault_positions = uniq
+            self.fault_values = new_values
 
     def stored_bits_at(self, positions: np.ndarray) -> np.ndarray:
         """Current stored bits at *positions* (pattern + fault overlay)."""
-        bits = self.pattern.bits_at(positions).copy()
-        if self.faults:
-            for i, pos in enumerate(positions):
-                value = self.faults.get(int(pos))
-                if value is not None:
-                    bits[i] = value
+        # bits_at materializes a fresh array, safe to overlay in place.
+        bits = self.pattern.bits_at(positions)
+        overlay = self.fault_positions
+        if overlay.size:
+            cached = self._overlay_cache.get(id(positions))
+            if (cached is not None and cached[0] is overlay
+                    and cached[1] is positions):
+                hit, overlay_indices = cached[2], cached[3]
+            else:
+                indices = np.searchsorted(overlay, positions)
+                hit = np.zeros(len(positions), dtype=bool)
+                in_bounds = indices < overlay.size
+                hit[in_bounds] = (overlay[indices[in_bounds]]
+                                  == positions[in_bounds])
+                overlay_indices = indices[hit]
+                if len(self._overlay_cache) >= 8:
+                    self._overlay_cache.clear()
+                self._overlay_cache[id(positions)] = (
+                    overlay, positions, hit, overlay_indices)
+            bits[hit] = self.fault_values[overlay_indices]
         return bits
+
+
+def _membership_mask(sorted_haystack: np.ndarray,
+                     needles: np.ndarray) -> np.ndarray:
+    """Boolean mask over *needles* marking members of *sorted_haystack*."""
+    indices = np.searchsorted(sorted_haystack, needles)
+    mask = np.zeros(len(needles), dtype=bool)
+    in_bounds = indices < sorted_haystack.size
+    mask[in_bounds] = sorted_haystack[indices[in_bounds]] == needles[in_bounds]
+    return mask
 
 
 class Bank:
@@ -86,6 +172,12 @@ class Bank:
         #: Most recently activated row: consecutive activations of one
         #: row cascade across batch boundaries exactly as within one.
         self._last_activated: int | None = None
+        #: Materialized full-row pattern buffers (read-only masters) —
+        #: reads copy these instead of rebuilding ``pattern.full``.
+        self._pattern_buffers: dict[DataPattern, np.ndarray] = {}
+        #: Victim/coupling lists per aggressor (pure function of the
+        #: disturbance config and bank geometry).
+        self._victims: dict[int, tuple[tuple[int, float], ...]] = {}
 
     # -- materialization ---------------------------------------------------
 
@@ -139,16 +231,18 @@ class Bank:
                                                         elapsed)
             if elapsed > 0:
                 stored = state.stored_bits_at(profile.positions)
-                for cell in profile.failed_cells(elapsed, stored):
-                    position = int(profile.positions[cell])
-                    state.faults[position] = 1 - int(profile.polarity[cell])
+                failed = profile.failed_cells(elapsed, stored)
+                if failed.size:
+                    state.overlay_faults(profile.positions[failed],
+                                         1 - profile.polarity[failed])
         if state.disturbance > 0:
             hammer = self._hammer(row, state)
             if len(hammer):
                 stored = state.stored_bits_at(hammer.positions)
-                for cell in hammer.flipped_cells(state.disturbance, stored):
-                    position = int(hammer.positions[cell])
-                    state.faults[position] = 1 - int(hammer.polarity[cell])
+                flipped = hammer.flipped_cells(state.disturbance, stored)
+                if flipped.size:
+                    state.overlay_faults(hammer.positions[flipped],
+                                         1 - hammer.polarity[flipped])
 
     def _recharge(self, state: RowState, now_ps: int) -> None:
         state.last_recharge_ps = now_ps
@@ -160,16 +254,31 @@ class Bank:
         """Overwrite the whole row; restores charge and clears faults."""
         state = self.state(row)
         state.pattern = pattern
-        state.faults.clear()
+        state.clear_faults()
         self._recharge(state, now_ps)
+
+    def _pattern_full(self, pattern: DataPattern) -> np.ndarray:
+        """Read-only materialized buffer for *pattern* (cached).
+
+        Patterns hash by content, so repeated reads of the same data
+        reuse one buffer instead of rebuilding ``pattern.full`` per read.
+        """
+        buffer = self._pattern_buffers.get(pattern)
+        if buffer is None:
+            if len(self._pattern_buffers) >= 256:
+                self._pattern_buffers.clear()
+            buffer = pattern.full(self.row_bits)
+            buffer.setflags(write=False)
+            self._pattern_buffers[pattern] = buffer
+        return buffer
 
     def read(self, row: int, now_ps: int) -> np.ndarray:
         """Settle and return the row's stored bits; the ACT recharges it."""
         self.settle(row, now_ps)
         state = self.rows[row]
-        bits = state.pattern.full(self.row_bits)
-        for position, value in state.faults.items():
-            bits[position] = value
+        bits = self._pattern_full(state.pattern).copy()
+        if state.fault_positions.size:
+            bits[state.fault_positions] = state.fault_values
         self._recharge(state, now_ps)
         return bits
 
@@ -178,18 +287,22 @@ class Bank:
         row's written pattern (sorted).  The ACT recharges the row."""
         self.settle(row, now_ps)
         state = self.rows[row]
-        if state.faults:
-            positions = np.fromiter(state.faults.keys(), dtype=np.int64,
-                                    count=len(state.faults))
-            written = state.pattern.bits_at(positions)
-            stored = np.fromiter(state.faults.values(), dtype=np.uint8,
-                                 count=len(state.faults))
-            result = sorted(int(p) for p, w, s
-                            in zip(positions, written, stored) if w != s)
+        overlay = state.fault_positions
+        if overlay.size:
+            written = state.pattern.bits_at(overlay)
+            result = overlay[written != state.fault_values].tolist()
         else:
             result = []
         self._recharge(state, now_ps)
         return result
+
+    def _victims_of(self, aggressor: int) -> tuple[tuple[int, float], ...]:
+        victims = self._victims.get(aggressor)
+        if victims is None:
+            victims = tuple(self.disturbance_config.victims_of(
+                aggressor, self.num_rows))
+            self._victims[aggressor] = victims
+        return victims
 
     def absorb_hammering(self, batch: ActBatch, now_ps: int) -> None:
         """Apply an ACT batch: recharge aggressors, disturb their victims."""
@@ -204,14 +317,17 @@ class Bank:
             effective[first_row] -= (
                 1.0 - self.disturbance_config.cascade_weight)
         self._last_activated = batch.row_at(batch.total - 1)
+        rows = self.rows
         for aggressor, eff_acts in effective.items():
             if not 0 <= aggressor < self.num_rows:
                 raise ConfigError(f"aggressor row {aggressor} out of range")
             self.settle(aggressor, now_ps)
-            self._recharge(self.rows[aggressor], now_ps)
-            for victim, weight in self.disturbance_config.victims_of(
-                    aggressor, self.num_rows):
-                self.state(victim).disturbance += eff_acts * weight
+            self._recharge(rows[aggressor], now_ps)
+            for victim, weight in self._victims_of(aggressor):
+                victim_state = rows.get(victim)
+                if victim_state is None:
+                    victim_state = self.state(victim)
+                victim_state.disturbance += eff_acts * weight
 
     def refresh_rows(self, rows, now_ps: int) -> None:
         """Refresh specific rows (used for TRR-induced refreshes)."""

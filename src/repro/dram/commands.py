@@ -51,9 +51,15 @@ class ActBatch:
     def __post_init__(self) -> None:
         if not self.pattern:
             raise ConfigError("ActBatch pattern must not be empty")
+        total = 0
         for row, count in self.pattern:
             if count < 0:
                 raise ConfigError(f"negative hammer count for row {row}")
+            total += count
+        # The batch is frozen, so the activation total never changes;
+        # computing it once here keeps `total` O(1) on the hot path
+        # (disturbance, TRR, and timing all consult it per batch).
+        object.__setattr__(self, "_total", total)
         if self.mode is HammerMode.INTERLEAVED:
             rows = [row for row, _ in self.pattern]
             if len(set(rows)) != len(rows):
@@ -64,7 +70,7 @@ class ActBatch:
     @property
     def total(self) -> int:
         """Total number of activations in the batch."""
-        return sum(count for _, count in self.pattern)
+        return self._total
 
     def counts_by_row(self) -> dict[int, int]:
         """Aggregate activation counts per row (order-insensitive view)."""

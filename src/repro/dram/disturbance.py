@@ -109,6 +109,15 @@ class DisturbanceConfig:
         The first activation of each same-row run counts fully; the rest
         count at ``cascade_weight``.
         """
+        pattern = batch.pattern
+        if len(pattern) == 1:
+            # Fast path for the dominant case — a single-aggressor
+            # cascade (every row read/write, hammer_single, and most TRR
+            # probe traffic) — skipping the run-stats machinery.
+            row, count = pattern[0]
+            if count == 0:
+                return {}
+            return {row: 1 + (count - 1) * self.cascade_weight}
         effective: dict[int, float] = {}
         for row, (runs, acts) in batch.run_stats().items():
             effective[row] = runs + (acts - runs) * self.cascade_weight

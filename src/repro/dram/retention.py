@@ -83,7 +83,7 @@ class RowRetentionProfile:
     """
 
     __slots__ = ("positions", "base_retention_ps", "alt_retention_ps",
-                 "polarity", "is_vrt", "vrt_state")
+                 "polarity", "is_vrt", "vrt_state", "has_vrt")
 
     def __init__(self, positions: np.ndarray, base_retention_ps: np.ndarray,
                  alt_retention_ps: np.ndarray, polarity: np.ndarray,
@@ -95,6 +95,9 @@ class RowRetentionProfile:
         self.is_vrt = is_vrt
         #: True = cell currently in its alternate retention state.
         self.vrt_state = np.zeros(len(positions), dtype=bool)
+        #: The VRT membership is fixed at generation; settle consults it
+        #: on every observation, so the any() scan is done once here.
+        self.has_vrt = bool(is_vrt.any())
 
     def __len__(self) -> int:
         return len(self.positions)
@@ -102,6 +105,10 @@ class RowRetentionProfile:
     @property
     def current_retention_ps(self) -> np.ndarray:
         """Per-cell retention times given current VRT state."""
+        if not self.has_vrt:
+            # vrt_state can never leave all-False; the base array is the
+            # answer (returned by reference — callers do not mutate it).
+            return self.base_retention_ps
         return np.where(self.vrt_state, self.alt_retention_ps,
                         self.base_retention_ps)
 
@@ -123,7 +130,7 @@ class RowRetentionProfile:
     def toggle_vrt(self, rng: np.random.Generator,
                    toggle_probability: float) -> None:
         """Randomly toggle VRT cells (called at each row observation)."""
-        if not self.is_vrt.any() or toggle_probability <= 0:
+        if not self.has_vrt or toggle_probability <= 0:
             return
         flips = self.is_vrt & (rng.random(len(self.positions))
                                < toggle_probability)

@@ -6,6 +6,11 @@ representative per TRR version; pass ``--modules all`` for the full
 45-module run).  ``resilience`` runs the chaos harness: hardened
 inference under injected faults (``--faults`` picks the fault profile).
 
+``--workers N`` shards module-level work units over N processes through
+:mod:`repro.parallel` (default: one per CPU); ``--workers 1`` runs the
+sequential code path unchanged.  Artifact bytes are identical for any
+worker count.
+
 Rendered artifacts go to **stdout** and are deterministic for a given
 artifact/scale/module selection; progress and timing go to **stderr**
 as structured ``key=value`` lines (suppressed entirely by ``--quiet``).
@@ -18,11 +23,11 @@ import sys
 import time
 
 from ..obs import StructuredLog, build_manifest
+from ..parallel import default_workers
 from ..vendors import all_modules
 from . import (REPRESENTATIVE_MODULES, TABLE1_REPRESENTATIVES, get_scale,
-               run_baseline_ablation, run_dummy_count_ablation, run_fig8,
-               run_fig9, run_fig10, run_hammer_mode_ablation,
-               run_mitigation_ablation, run_table1)
+               run_ablations, run_fig8, run_fig8_many, run_fig9, run_fig10,
+               run_table1)
 from .fig8 import SWEEPS
 
 
@@ -45,23 +50,30 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["standard", "quick"])
     parser.add_argument("--faults", default="default",
                         help="fault profile for the resilience artifact")
+    parser.add_argument("--workers", type=int, default=default_workers(),
+                        help="process-pool width for module-level work "
+                             "units (default: CPU count; 1 = the "
+                             "sequential code path)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress/timing output on stderr "
                              "(stdout artifact bytes are unaffected)")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
+    workers = args.workers
     log = StructuredLog(enabled=not args.quiet)
     manifest = build_manifest(scale=scale.name, artifact=args.artifact,
                               include_time=False)
     log.info("run-start", artifact=args.artifact, scale=scale.name,
-             modules=args.modules or "default", git=manifest["git"])
+             modules=args.modules or "default", workers=workers,
+             git=manifest["git"])
 
     started = time.time()
     if args.artifact == "resilience":
         from .resilience import RESILIENCE_MODULES, run_resilience
         result = run_resilience(_module_ids(args.modules,
                                             RESILIENCE_MODULES),
-                                fault_profile=args.faults)
+                                fault_profile=args.faults,
+                                workers=workers, log=log)
         print(result.render())
     elif args.artifact == "survey":
         from .survey import run_survey
@@ -70,30 +82,35 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
     elif args.artifact == "table1":
         result = run_table1(_module_ids(args.modules,
-                                        TABLE1_REPRESENTATIVES), scale)
+                                        TABLE1_REPRESENTATIVES), scale,
+                            workers=workers, log=log)
         print(result.render())
     elif args.artifact == "fig8":
-        for module_id in _module_ids(args.modules, tuple(SWEEPS)):
-            print(run_fig8(module_id, scale).render())
-            print()
+        module_ids = _module_ids(args.modules, tuple(SWEEPS))
+        if workers > 1:
+            for result in run_fig8_many(module_ids, scale,
+                                        workers=workers, log=log):
+                print(result.render())
+                print()
+        else:
+            for module_id in module_ids:
+                print(run_fig8(module_id, scale).render())
+                print()
     elif args.artifact == "fig9":
         result = run_fig9(_module_ids(args.modules,
-                                      REPRESENTATIVE_MODULES), scale)
+                                      REPRESENTATIVE_MODULES), scale,
+                          workers=workers, log=log)
         print(result.render())
     elif args.artifact == "fig10":
         result = run_fig10(_module_ids(args.modules,
-                                       REPRESENTATIVE_MODULES), scale)
+                                       REPRESENTATIVE_MODULES), scale,
+                           workers=workers, log=log)
         print(result.render())
     else:
-        print(run_hammer_mode_ablation(scale).render())
-        print()
-        print(run_dummy_count_ablation(scale).render())
-        print()
-        print(run_baseline_ablation(scale).render())
-        print()
-        print(run_mitigation_ablation(scale).render())
+        results = run_ablations(scale, workers=workers, log=log)
+        print("\n\n".join(result.render() for result in results))
     log.info("run-done", artifact=args.artifact, scale=scale.name,
-             seconds=round(time.time() - started, 1))
+             workers=workers, seconds=round(time.time() - started, 1))
     return 0
 
 

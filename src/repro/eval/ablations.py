@@ -23,6 +23,7 @@ from ..attacks import (AttackExecutor, DoubleSidedPattern,
                        ManySidedPattern, SingleSidedPattern,
                        VendorAPattern, default_context)
 from ..dram import ActBatch, AllOnes, DramChip, HammerMode
+from ..parallel import WorkUnit, run_units
 from ..softmc import SoftMCHost
 from ..trr import ParaMitigation
 from ..vendors import get_module
@@ -151,3 +152,26 @@ def run_mitigation_ablation(scale: EvalScale = STANDARD
         headers=["mitigation", "pattern", "flips",
                  "refreshes / M ACTs"],
         rows=rows)
+
+
+#: The ablation studies in rendering order (AB1-AB4).
+ABLATIONS = (
+    ("ab1-hammer-mode", run_hammer_mode_ablation),
+    ("ab2-dummy-count", run_dummy_count_ablation),
+    ("ab3-baseline", run_baseline_ablation),
+    ("ab4-mitigation", run_mitigation_ablation),
+)
+
+
+def run_ablations(scale: EvalScale = STANDARD, workers: int = 1,
+                  log=None) -> list[AblationResult]:
+    """All four ablation studies, sharded over *workers* processes.
+
+    Results come back in AB1..AB4 order; ``workers=1`` runs each study
+    inline, in order, exactly as the sequential CLI always has.
+    """
+    units = [WorkUnit(unit_id=f"ablations/{name}", fn=fn, args=(scale,),
+                      meta={"ablation": name, "scale": scale.name,
+                            "artifact": "ablations"})
+             for name, fn in ABLATIONS]
+    return run_units(units, workers, log=log).values

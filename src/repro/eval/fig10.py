@@ -14,7 +14,7 @@ from ..ecc import (ChipkillOutcome, DecodeStatus, assess_ecc,
                    dataword_flip_counts, required_rs_parity_symbols)
 from ..vendors import all_modules, get_module
 from .report import render_histogram, render_table
-from .runner import ModuleEvaluation, evaluate_module
+from .runner import ModuleEvaluation, evaluate_module, evaluate_modules
 from .scale import STANDARD, EvalScale
 
 
@@ -62,11 +62,18 @@ class Fig10Result:
 def run_fig10(module_ids: list[str] | None = None,
               scale: EvalScale = STANDARD,
               evaluations: list[ModuleEvaluation] | None = None,
-              positions: int | None = None) -> Fig10Result:
+              positions: int | None = None, workers: int = 1,
+              log=None) -> Fig10Result:
     """Reuses Figure 9 evaluations when given (same underlying sweep)."""
     if evaluations is None:
-        specs = ([get_module(module_id) for module_id in module_ids]
-                 if module_ids else all_modules())
-        evaluations = [evaluate_module(spec, scale, positions)
-                       for spec in specs]
+        if workers > 1:
+            ids = (list(module_ids) if module_ids
+                   else [spec.module_id for spec in all_modules()])
+            evaluations = evaluate_modules(ids, scale, positions,
+                                           workers=workers, log=log)
+        else:
+            specs = ([get_module(module_id) for module_id in module_ids]
+                     if module_ids else all_modules())
+            evaluations = [evaluate_module(spec, scale, positions)
+                           for spec in specs]
     return Fig10Result(evaluations=evaluations)

@@ -17,6 +17,7 @@ from ..attacks import (VendorAPattern, VendorBPattern, VendorCPattern,
 from ..attacks.sweep import HammerSweepResult
 from ..core.mapping_re import CouplingTopology
 from ..errors import ConfigError
+from ..parallel import WorkUnit, run_units
 from ..vendors import get_module
 from .report import render_table
 from .scale import STANDARD, EvalScale
@@ -89,3 +90,14 @@ def run_fig8(module_id: str, scale: EvalScale = STANDARD,
         windows, paired=spec.paired_rows, host_factory=fresh_host)
     return Fig8Result(module_id=module_id, trr_period=trr_period,
                       sweep=sweep)
+
+
+def run_fig8_many(module_ids, scale: EvalScale = STANDARD,
+                  workers: int = 1, log=None) -> list[Fig8Result]:
+    """One hammer sweep per module, sharded over *workers* processes."""
+    units = [WorkUnit(unit_id=f"fig8/{module_id}", fn=run_fig8,
+                      args=(module_id, scale),
+                      meta={"module": module_id, "scale": scale.name,
+                            "artifact": "fig8"})
+             for module_id in module_ids]
+    return run_units(units, workers, log=log).values

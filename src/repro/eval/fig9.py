@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from ..vendors import all_modules, get_module
 from .report import format_pct, render_table
-from .runner import ModuleEvaluation, evaluate_module
+from .runner import ModuleEvaluation, evaluate_module, evaluate_modules
 from .scale import STANDARD, EvalScale
 
 
@@ -43,7 +43,13 @@ class Fig9Result:
 
 def run_fig9(module_ids: list[str] | None = None,
              scale: EvalScale = STANDARD,
-             positions: int | None = None) -> Fig9Result:
+             positions: int | None = None, workers: int = 1,
+             log=None) -> Fig9Result:
+    if workers > 1:
+        ids = (list(module_ids) if module_ids
+               else [spec.module_id for spec in all_modules()])
+        return Fig9Result(evaluations=evaluate_modules(
+            ids, scale, positions, workers=workers, log=log))
     specs = ([get_module(module_id) for module_id in module_ids]
              if module_ids else all_modules())
     evaluations = [evaluate_module(spec, scale, positions)

@@ -23,6 +23,7 @@ from ..core import InferenceConfig, InferredTrrProfile, TrrInference
 from ..dram import DramChip
 from ..faults import FaultInjector
 from ..obs import build_manifest
+from ..parallel import WorkUnit, run_units
 from ..rng import derive_seed
 from ..softmc import SoftMCHost
 from ..vendors import ModuleSpec, get_module
@@ -132,10 +133,15 @@ class ResilienceReport:
     """All chaos runs of one ``run_resilience`` invocation."""
 
     modules: list[ModuleResilience]
+    #: ``(module_id, error)`` pairs for chaos runs the execution engine
+    #: quarantined after exhausting retries (empty on healthy runs, so
+    #: sequential and parallel reports stay byte-identical).
+    quarantined: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def all_recovered(self) -> bool:
-        return all(module.recovered for module in self.modules)
+        return (all(module.recovered for module in self.modules)
+                and not self.quarantined)
 
     def render(self) -> str:
         headers = ["module", "faults", "injected", "detection", "TRR/REF",
@@ -159,9 +165,14 @@ class ResilienceReport:
                 recovery.get("degraded_stages", 0),
                 "yes" if module.recovered else "NO",
             ])
-        return render_table(
+        rendered = render_table(
             headers, table,
             title="Resilience — inference under injected faults")
+        if self.quarantined:
+            lines = [f"QUARANTINED {module_id}: {error}"
+                     for module_id, error in self.quarantined]
+            rendered = "\n".join([rendered, *lines])
+        return rendered
 
 
 def run_module_resilience(module_id: str, fault_profile: str = "default",
@@ -197,10 +208,30 @@ def run_module_resilience(module_id: str, fault_profile: str = "default",
 
 def run_resilience(module_ids=None, fault_profile: str = "default",
                    seed: int = 0,
-                   config: InferenceConfig | None = None
-                   ) -> ResilienceReport:
-    """Chaos runs over one representative module per vendor."""
+                   config: InferenceConfig | None = None,
+                   workers: int = 1, log=None) -> ResilienceReport:
+    """Chaos runs over one representative module per vendor.
+
+    With ``workers > 1`` the chaos runs shard over a process pool; a
+    module whose worker keeps crashing is *quarantined* — reported by
+    name instead of sinking the whole fleet, the same isolate-and-name
+    semantics the hardened Row Scout applies to misbehaving rows.
+    """
     ids = list(module_ids or RESILIENCE_MODULES)
+    if workers > 1:
+        units = [WorkUnit(unit_id=f"resilience/{module_id}",
+                          fn=run_module_resilience,
+                          args=(module_id, fault_profile, seed, config),
+                          meta={"module": module_id,
+                                "fault_profile": fault_profile,
+                                "seed": seed, "artifact": "resilience"})
+                 for module_id in ids]
+        run = run_units(units, workers, quarantine=True, log=log)
+        return ResilienceReport(
+            modules=run.values,
+            quarantined=[(outcome.unit_id.removeprefix("resilience/"),
+                          outcome.error or "unknown")
+                         for outcome in run.quarantined])
     return ResilienceReport(modules=[
         run_module_resilience(module_id, fault_profile, seed, config)
         for module_id in ids])

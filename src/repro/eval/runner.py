@@ -21,8 +21,9 @@ from ..attacks import (AccessPattern, AttackExecutor,
 from ..attacks.sweep import VulnerabilityResult
 from ..core.mapping_re import CouplingTopology
 from ..errors import AttackConfigError
+from ..parallel import WorkUnit, run_units
 from ..softmc import SoftMCHost
-from ..vendors import ModuleSpec
+from ..vendors import ModuleSpec, get_module
 from .scale import EvalScale
 
 
@@ -143,6 +144,33 @@ def evaluate_module(spec: ModuleSpec, scale: EvalScale,
     return ModuleEvaluation(spec=spec, pattern_name=pattern.name,
                             hammers_per_aggressor_per_ref=hammers_per_ref,
                             result=result)
+
+
+def evaluate_module_unit(module_id: str, scale: EvalScale,
+                         positions: int | None = None) -> ModuleEvaluation:
+    """Process-pool work unit: one module's full evaluation.
+
+    Top-level (hence picklable) and fully self-contained — the spec is
+    re-resolved and the host rebuilt inside the worker, so the result
+    depends only on ``(module_id, scale, positions)``.
+    """
+    return evaluate_module(get_module(module_id), scale, positions)
+
+
+def evaluate_modules(module_ids, scale: EvalScale,
+                     positions: int | None = None, workers: int = 1,
+                     log=None) -> list[ModuleEvaluation]:
+    """Evaluate many modules, sharded over *workers* processes.
+
+    Results come back in *module_ids* order whatever the scheduling;
+    ``workers=1`` runs each evaluation inline on the sequential path.
+    """
+    units = [WorkUnit(unit_id=f"eval/{module_id}",
+                      fn=evaluate_module_unit,
+                      args=(module_id, scale, positions),
+                      meta={"module": module_id, "scale": scale.name})
+             for module_id in module_ids]
+    return run_units(units, workers, log=log).values
 
 
 def evaluate_baseline(spec: ModuleSpec, scale: EvalScale,

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..attacks import measure_hc_first
 from ..core import InferenceConfig, InferredTrrProfile, TrrInference
+from ..parallel import WorkUnit, run_units
 from ..vendors import ModuleSpec, get_module
 from .report import format_pct, render_table
 from .runner import ModuleEvaluation, evaluate_module
@@ -126,8 +127,15 @@ TABLE1_REPRESENTATIVES = ("A0", "A13", "B0", "B9", "B13",
                           "C7", "C9", "C12")
 
 
-def run_table1(module_ids=None, scale: EvalScale = STANDARD
-               ) -> Table1Result:
+def run_table1(module_ids=None, scale: EvalScale = STANDARD,
+               workers: int = 1, log=None) -> Table1Result:
     ids = list(module_ids or TABLE1_REPRESENTATIVES)
+    if workers > 1:
+        units = [WorkUnit(unit_id=f"table1/{module_id}",
+                          fn=run_table1_module, args=(module_id, scale),
+                          meta={"module": module_id, "scale": scale.name,
+                                "artifact": "table1"})
+                 for module_id in ids]
+        return Table1Result(rows=run_units(units, workers, log=log).values)
     return Table1Result(rows=[run_table1_module(module_id, scale)
                               for module_id in ids])

@@ -1,0 +1,282 @@
+"""Deterministic process-pool execution engine.
+
+The paper's headline artifacts aggregate full-bank sweeps over 45
+modules; TRRespass-style studies multiply that by pattern candidates.
+Each module evaluation is independent — the simulator derives every
+random property from a :class:`~repro.rng.SeedSequenceFactory` keyed by
+the module serial — so the work shards perfectly across processes.
+What does NOT come for free is *reproducibility discipline*:
+
+* **Determinism** — results are merged in submission order, every unit
+  carries a seed derived from its stable ``unit_id`` (never from worker
+  identity, scheduling order, or wall clock), and a run with ``workers=1``
+  executes the task functions inline on the exact code path a sequential
+  caller would use.  Artifacts must diff byte-for-byte against a
+  sequential run.
+* **Crash containment** — a worker that dies (OOM killer, segfault in a
+  native extension) breaks the whole :class:`ProcessPoolExecutor`; the
+  engine rebuilds the pool and retries the lost units up to
+  ``max_attempts``.  Units that keep failing are either raised (eval
+  harnesses: fail loudly) or *quarantined* (chaos harnesses: record the
+  failure and keep going), mirroring the Row Scout quarantine semantics
+  of :mod:`repro.faults` — misbehaving work is isolated, named in the
+  report, and never silently dropped.
+* **Auditability** — every unit gets a :func:`repro.obs.build_manifest`
+  manifest (``include_time=False``, no worker identity) so per-unit
+  artifacts from a parallel run diff clean against a sequential run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigError
+from ..obs import build_manifest
+from ..rng import SeedSequenceFactory
+
+#: Root of every engine-derived seed; unit seeds depend only on the
+#: unit_id, so they are stable across worker counts and runs.
+ENGINE_SEEDS = SeedSequenceFactory("repro.parallel")
+
+
+def unit_seed(unit_id: str) -> int:
+    """Stable 64-bit seed for a work unit (independent of scheduling)."""
+    return ENGINE_SEEDS.seed(unit_id)
+
+
+def default_workers() -> int:
+    """Default worker count: one per CPU (the CLI default)."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard of work: a picklable call plus its reproduction recipe.
+
+    ``fn`` must be an importable top-level function (process pools pickle
+    it by reference).  ``meta`` is merged verbatim into the unit's
+    manifest — put the module id, scale name, and fault profile there.
+    """
+
+    unit_id: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def seed(self) -> int:
+        return unit_seed(self.unit_id)
+
+    def manifest(self) -> dict:
+        """Per-unit run manifest — identical for any worker count."""
+        return build_manifest(include_time=False, unit=self.unit_id,
+                              unit_seed=self.seed, **self.meta)
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+@dataclass
+class UnitOutcome:
+    """The result (or recorded failure) of one work unit."""
+
+    unit_id: str
+    value: Any = None
+    attempts: int = 1
+    quarantined: bool = False
+    error: str | None = None
+    manifest: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+
+@dataclass
+class ParallelRun:
+    """All unit outcomes of one :func:`run_units` call, in input order."""
+
+    outcomes: list[UnitOutcome]
+    workers: int
+
+    @property
+    def values(self) -> list[Any]:
+        """Unit results in input order (quarantined units excluded)."""
+        return [outcome.value for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def quarantined(self) -> list[UnitOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.quarantined]
+
+    @property
+    def retries(self) -> int:
+        """Extra attempts spent recovering crashed/failed units."""
+        return sum(outcome.attempts - 1 for outcome in self.outcomes)
+
+    def manifests(self) -> list[dict]:
+        """Per-unit manifests, input order — worker-count independent."""
+        return [outcome.manifest for outcome in self.outcomes]
+
+
+def _call_unit(unit: WorkUnit) -> Any:
+    """Top-level trampoline the pool pickles instead of the unit fn."""
+    return unit.run()
+
+
+def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
+              max_attempts: int = 2, quarantine: bool = False,
+              log=None) -> ParallelRun:
+    """Execute *units*, return outcomes in input order.
+
+    ``workers=1`` runs every unit inline in this process — the exact
+    sequential code path, no pool, no pickling, no retry wrapping — so a
+    single-worker run is byte-for-byte today's behaviour.  With more
+    workers, units are sharded over a process pool; a unit whose worker
+    crashes or whose function raises is retried up to *max_attempts*
+    times and then either re-raised (default) or quarantined.
+
+    *log*, when given, is a :class:`repro.obs.StructuredLog`; the engine
+    emits ``unit-done`` / ``unit-retry`` / ``unit-quarantined`` events.
+    """
+    if workers < 1:
+        raise ConfigError("workers must be >= 1")
+    if max_attempts < 1:
+        raise ConfigError("max_attempts must be >= 1")
+    unit_ids = [unit.unit_id for unit in units]
+    if len(set(unit_ids)) != len(unit_ids):
+        raise ConfigError("work unit ids must be unique")
+    if workers == 1:
+        return _run_inline(units, log=log)
+    return _run_pool(units, workers, max_attempts=max_attempts,
+                     quarantine=quarantine, log=log)
+
+
+def _run_inline(units: Sequence[WorkUnit], log=None) -> ParallelRun:
+    outcomes = []
+    for unit in units:
+        value = unit.run()
+        if log is not None:
+            log.info("unit-done", unit=unit.unit_id, attempts=1)
+        outcomes.append(UnitOutcome(unit_id=unit.unit_id, value=value,
+                                    manifest=unit.manifest()))
+    return ParallelRun(outcomes=outcomes, workers=1)
+
+
+def _run_pool(units: Sequence[WorkUnit], workers: int, *,
+              max_attempts: int, quarantine: bool, log=None) -> ParallelRun:
+    slots: dict[str, UnitOutcome] = {}
+    attempts = {unit.unit_id: 0 for unit in units}
+    pending = list(units)
+    pool_size = min(workers, max(len(units), 1))
+    while pending:
+        pending, failed = _drain_pool(pending, pool_size, attempts, slots,
+                                      max_attempts, log)
+        for unit, error in failed:
+            if not quarantine:
+                raise error
+            if log is not None:
+                log.info("unit-quarantined", unit=unit.unit_id,
+                         attempts=attempts[unit.unit_id],
+                         error=type(error).__name__)
+            slots[unit.unit_id] = UnitOutcome(
+                unit_id=unit.unit_id, attempts=attempts[unit.unit_id],
+                quarantined=True, error=f"{type(error).__name__}: {error}",
+                manifest=unit.manifest())
+    outcomes = [slots[unit.unit_id] for unit in units]
+    return ParallelRun(outcomes=outcomes, workers=workers)
+
+
+def _drain_pool(pending: list[WorkUnit], pool_size: int,
+                attempts: dict[str, int], slots: dict[str, UnitOutcome],
+                max_attempts: int, log):
+    """One pool lifetime: run *pending* until done or the pool breaks.
+
+    Returns ``(retryable, failed)`` — units to resubmit on a fresh pool,
+    and ``(unit, error)`` pairs that exhausted their attempts.
+    """
+    retryable: list[WorkUnit] = []
+    failed: list[tuple[WorkUnit, BaseException]] = []
+    broken = False
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        futures = {}
+        for unit in pending:
+            attempts[unit.unit_id] += 1
+            futures[pool.submit(_call_unit, unit)] = unit
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            lost: list[tuple[WorkUnit, BaseException]] = []
+            for future in done:
+                unit = futures[future]
+                try:
+                    value = future.result()
+                except BrokenProcessPool as error:
+                    # The pool is gone; this unit was lost with it, not
+                    # necessarily at fault.  Units that already finished
+                    # keep their results — only in-flight work re-runs.
+                    broken = True
+                    lost.append((unit, error))
+                except BaseException as error:  # noqa: BLE001 — recorded
+                    _retry_or_fail(unit, error, attempts, max_attempts,
+                                   retryable, failed, log)
+                else:
+                    if log is not None:
+                        log.info("unit-done", unit=unit.unit_id,
+                                 attempts=attempts[unit.unit_id])
+                    slots[unit.unit_id] = UnitOutcome(
+                        unit_id=unit.unit_id, value=value,
+                        attempts=attempts[unit.unit_id],
+                        manifest=unit.manifest())
+            if broken:
+                # Every unit still in flight died with the pool; re-run
+                # them all on a fresh pool (bounded by max_attempts).
+                pool_error = (lost[0][1] if lost
+                              else BrokenProcessPool("worker crashed"))
+                for unit, error in lost:
+                    _retry_or_fail(unit, error, attempts, max_attempts,
+                                   retryable, failed, log)
+                for future in not_done:
+                    _retry_or_fail(futures[future], pool_error, attempts,
+                                   max_attempts, retryable, failed, log)
+                not_done = set()
+        if broken:
+            # Suppress the executor's shutdown error on exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+    return retryable, failed
+
+
+def _retry_or_fail(unit: WorkUnit, error: BaseException,
+                   attempts: dict[str, int], max_attempts: int,
+                   retryable: list[WorkUnit],
+                   failed: list[tuple[WorkUnit, BaseException]],
+                   log) -> None:
+    if attempts[unit.unit_id] < max_attempts:
+        if log is not None:
+            log.info("unit-retry", unit=unit.unit_id,
+                     attempts=attempts[unit.unit_id],
+                     error=type(error).__name__)
+        retryable.append(unit)
+    else:
+        failed.append((unit, error))
+
+
+def parallel_map(fn: Callable[..., Any], calls: Sequence[tuple],
+                 unit_ids: Sequence[str], workers: int = 1, *,
+                 meta: Sequence[dict] | None = None,
+                 max_attempts: int = 2, quarantine: bool = False,
+                 log=None) -> ParallelRun:
+    """Map *fn* over positional-argument tuples as one unit per call."""
+    if len(calls) != len(unit_ids):
+        raise ConfigError("calls and unit_ids must have equal length")
+    metas = list(meta) if meta is not None else [{} for _ in calls]
+    if len(metas) != len(calls):
+        raise ConfigError("meta and calls must have equal length")
+    units = [WorkUnit(unit_id=uid, fn=fn, args=tuple(args), meta=m)
+             for uid, args, m in zip(unit_ids, calls, metas)]
+    return run_units(units, workers, max_attempts=max_attempts,
+                     quarantine=quarantine, log=log)

@@ -60,7 +60,7 @@ def test_cli_quiet_keeps_stdout_byte_stable(monkeypatch, capsys):
             return "Figure 9 (stub)"
 
     monkeypatch.setattr("repro.eval.__main__.run_fig9",
-                        lambda modules, scale: _Stub())
+                        lambda modules, scale, **kwargs: _Stub())
 
     assert eval_main(["fig9", "--scale", "quick"]) == 0
     loud = capsys.readouterr()

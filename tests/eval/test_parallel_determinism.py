@@ -1,0 +1,80 @@
+"""Parallel evaluation is byte-identical to the sequential path.
+
+The satellite guarantee of the execution engine: ``--workers N`` (N > 1)
+must produce exactly the artifacts of ``--workers 1`` — same rendered
+tables, same per-row flip ledgers, same recovered TRR parameters, same
+manifests — because every work unit derives its RNG streams from its
+unit id, never from scheduling order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.eval import (QUICK, hardened_inference_config, run_fig8_many,
+                        run_fig9, run_fig10, run_resilience)
+from repro.eval.__main__ import main as eval_main
+
+MODULES = ["A5", "B0", "C7"]
+
+TINY = dataclasses.replace(QUICK, positions=6, fig8_positions=4)
+
+#: Effort knobs cut to the bone — determinism does not depend on how
+#: many validation rounds run, only that both sides run the same ones.
+FAST_RESILIENCE = dict(validation_rounds=2, period_scan_experiments=30,
+                       neighbor_repeats=1, persistence_probes=1,
+                       kind_repeats=1, capacity_candidates=(16,),
+                       capacity_repeats=1)
+
+
+@pytest.mark.slow
+def test_fig9_fig10_parallel_byte_identical():
+    sequential = run_fig9(MODULES, QUICK)
+    parallel = run_fig9(MODULES, QUICK, workers=2)
+    assert parallel.render() == sequential.render()
+    assert run_fig10(evaluations=parallel.evaluations).render() == \
+        run_fig10(evaluations=sequential.evaluations).render()
+    for seq_eval, par_eval in zip(sequential.evaluations,
+                                  parallel.evaluations):
+        assert par_eval.pattern_name == seq_eval.pattern_name
+        assert par_eval.result.flips_by_row == seq_eval.result.flips_by_row
+
+
+def test_fig8_parallel_byte_identical():
+    sweeps = ["A5", "C7"]
+    sequential = run_fig8_many(sweeps, TINY)
+    parallel = run_fig8_many(sweeps, TINY, workers=2)
+    assert [r.render() for r in parallel] == \
+        [r.render() for r in sequential]
+    for seq_result, par_result in zip(sequential, parallel):
+        assert par_result.sweep.flips_by_hammers == \
+            seq_result.sweep.flips_by_hammers
+
+
+@pytest.mark.slow
+def test_resilience_parallel_byte_identical_under_faults():
+    """Recovered TRR parameters match under the default fault profile."""
+    config = hardened_inference_config(**FAST_RESILIENCE)
+    sequential = run_resilience(MODULES, fault_profile="default",
+                                config=config)
+    parallel = run_resilience(MODULES, fault_profile="default",
+                              config=config, workers=2)
+    assert parallel.render() == sequential.render()
+    assert not parallel.quarantined
+    for seq_mod, par_mod in zip(sequential.modules, parallel.modules):
+        assert par_mod.profile == seq_mod.profile
+        assert par_mod.fault_counters == seq_mod.fault_counters
+        assert par_mod.recovery == seq_mod.recovery
+        assert par_mod.manifest == seq_mod.manifest
+
+
+def test_cli_workers_flag_keeps_stdout_byte_stable(capsys):
+    args = ["fig9", "--modules", "B0", "--scale", "quick", "--quiet"]
+    assert eval_main([*args, "--workers", "1"]) == 0
+    sequential = capsys.readouterr().out
+    assert eval_main([*args, "--workers", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == sequential
+    assert "B0" in sequential
