@@ -14,7 +14,7 @@ from repro.core import (ProfilingConfig, RefreshCalibrator, RowGroupLayout,
                         RowScout)
 from repro.dram import (AllOnes, DeviceConfig, DisturbanceConfig, DramChip,
                         RetentionConfig)
-from repro.obs import NULL_OBS
+from repro.obs import NULL_OBS, traced
 from repro.softmc import SoftMCHost
 from repro.trr import CounterBasedTrr
 
@@ -84,6 +84,63 @@ def _obs_workload(host) -> int:
         host.hammer(0, [(100 + 8 * i, 70) for i in range(16)])
         host.refresh(9)
     return host.ref_count
+
+
+def _digest_workload(host) -> int:
+    """Hammer/REF traffic plus reads, so RD digest stamping is on the
+    measured path (every read hashes its full row payload)."""
+    pattern = AllOnes()
+    for row in range(100, 120):
+        host.write_row(0, row, pattern)
+    for _ in range(50):
+        host.hammer(0, [(2000, 36), (2002, 36)])
+        host.hammer(0, [(100 + 8 * i, 70) for i in range(16)])
+        for row in range(100, 120):
+            host.read_row(0, row)
+        host.refresh(9)
+    return host.ref_count
+
+
+def test_enabled_trace_overhead_measured(tmp_path):
+    """Measure the enabled-trace path (records + per-read CRC digests).
+
+    Unlike the disabled path there is no tight budget — recording is
+    *supposed* to cost (one JSONL record per command, one zlib.crc32
+    over the row payload per read).  The test reports the factor so
+    benchmark history tracks it, verifies digests actually landed in
+    the trace, and fails only on an order-of-magnitude blowout.
+    """
+    import json
+
+    def timed(obs, host):
+        start = time.perf_counter()
+        _digest_workload(host)
+        if obs is not None:
+            obs.finalize(host)  # flush is part of the enabled cost
+        return time.perf_counter() - start
+
+    best_bare = best_traced = float("inf")
+    trace_path = None
+    for round_index in range(5):
+        bare = SoftMCHost(DramChip(CONFIG, CounterBasedTrr()))
+        best_bare = min(best_bare, timed(None, bare))
+        trace_path = tmp_path / f"bench-{round_index}.jsonl"
+        obs = traced(trace_path)
+        host = SoftMCHost(DramChip(CONFIG, CounterBasedTrr()), obs=obs)
+        best_traced = min(best_traced, timed(obs, host))
+
+    factor = best_traced / best_bare
+    print(f"\nenabled-trace overhead: {factor:.2f}x "
+          f"(bare {best_bare:.4f}s, traced {best_traced:.4f}s)")
+
+    # The last trace must carry stamped read digests end to end.
+    records = [json.loads(line) for line in
+               trace_path.read_text(encoding="utf-8").splitlines()]
+    reads = [r for r in records if r.get("t") == "RD"]
+    assert reads and all("crc" in r for r in reads)
+    assert records[-1].get("type") == "summary"
+    assert factor < 50.0, (
+        f"enabled trace path blew up: {factor:.1f}x over bare")
 
 
 def test_disabled_observability_overhead_under_5_percent():

@@ -11,7 +11,8 @@ from .environment import ChipEnvironment
 from .mapping import (BitSwapMapping, DirectMapping, RowMapping,
                       XorScrambleMapping, available_schemes, make_mapping)
 from .patterns import (AllOnes, AllZeros, ByteFill, Checkerboard,
-                       CustomPattern, DataPattern, inverted)
+                       CustomPattern, DataPattern, inverted,
+                       pattern_from_spec, pattern_spec)
 from .refresh import RefreshEngine
 from .retention import RetentionConfig
 from .timing import DDR4_DEFAULT, TimingParameters
@@ -40,5 +41,7 @@ __all__ = [
     "available_schemes",
     "inverted",
     "make_mapping",
+    "pattern_from_spec",
+    "pattern_spec",
     "single_row_batch",
 ]

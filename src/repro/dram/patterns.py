@@ -12,6 +12,8 @@ stored state is ``pattern + sparse fault overrides``.
 
 from __future__ import annotations
 
+import base64
+import zlib
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -129,3 +131,45 @@ class CustomPattern(DataPattern):
 def inverted(pattern: DataPattern, row_bits: int) -> CustomPattern:
     """Bitwise complement of *pattern* (used for aggressor-row data)."""
     return CustomPattern(1 - pattern.full(row_bits))
+
+
+def pattern_spec(pattern: DataPattern) -> str | dict:
+    """Compact, JSON-compatible spec for *pattern* (trace WR records).
+
+    The symbolic patterns encode as short strings (``"1"``, ``"0"``,
+    ``"cb0"``/``"cb1"``, ``"b<value>"``); a :class:`CustomPattern`
+    carries its raw bits, packed, deflated and base64-encoded, so even
+    arbitrary aggressor data stays replayable at a few dozen bytes per
+    kilobit.  :func:`pattern_from_spec` is the exact inverse.
+    """
+    if isinstance(pattern, AllOnes):
+        return "1"
+    if isinstance(pattern, AllZeros):
+        return "0"
+    if isinstance(pattern, Checkerboard):
+        return f"cb{pattern.phase}"
+    if isinstance(pattern, ByteFill):
+        return f"b{pattern.value}"
+    if isinstance(pattern, CustomPattern):
+        packed = np.packbits(pattern.bits, bitorder="little").tobytes()
+        return {"raw": base64.b64encode(zlib.compress(packed)).decode(),
+                "n": int(pattern.bits.size)}
+    raise ConfigError(f"pattern {pattern!r} has no trace spec")
+
+
+def pattern_from_spec(spec: str | dict) -> DataPattern:
+    """Rebuild the :class:`DataPattern` a :func:`pattern_spec` encoded."""
+    if isinstance(spec, dict):
+        packed = np.frombuffer(
+            zlib.decompress(base64.b64decode(spec["raw"])), dtype=np.uint8)
+        return CustomPattern(
+            np.unpackbits(packed, bitorder="little")[:spec["n"]])
+    if spec == "1":
+        return AllOnes()
+    if spec == "0":
+        return AllZeros()
+    if spec.startswith("cb"):
+        return Checkerboard(int(spec[2:]))
+    if spec.startswith("b"):
+        return ByteFill(int(spec[1:]))
+    raise ConfigError(f"unknown pattern spec {spec!r}")

@@ -14,6 +14,10 @@ worker count.
 Rendered artifacts go to **stdout** and are deterministic for a given
 artifact/scale/module selection; progress and timing go to **stderr**
 as structured ``key=value`` lines (suppressed entirely by ``--quiet``).
+
+``--history PATH`` appends one row per run (manifest, flattened
+metrics, span wall-clocks) to an append-only run-history store; gate it
+across runs with ``python -m repro.obs.history PATH --gate``.
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ import argparse
 import sys
 import time
 
-from ..obs import StructuredLog, build_manifest
+from ..obs import (MetricsRegistry, RunHistory, SpanTracker, StructuredLog,
+                   build_manifest)
 from ..parallel import default_workers
 from ..vendors import all_modules
 from . import (REPRESENTATIVE_MODULES, TABLE1_REPRESENTATIVES, get_scale,
@@ -57,10 +62,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress/timing output on stderr "
                              "(stdout artifact bytes are unaffected)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="append this run (manifest, metrics, span "
+                             "wall-clocks) to a run-history store")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
     workers = args.workers
     log = StructuredLog(enabled=not args.quiet)
+    metrics = MetricsRegistry()
+    spans = SpanTracker()
     manifest = build_manifest(scale=scale.name, artifact=args.artifact,
                               include_time=False)
     log.info("run-start", artifact=args.artifact, scale=scale.name,
@@ -68,49 +78,58 @@ def main(argv: list[str] | None = None) -> int:
              git=manifest["git"])
 
     started = time.time()
-    if args.artifact == "resilience":
-        from .resilience import RESILIENCE_MODULES, run_resilience
-        result = run_resilience(_module_ids(args.modules,
-                                            RESILIENCE_MODULES),
-                                fault_profile=args.faults,
-                                workers=workers, log=log)
-        print(result.render())
-    elif args.artifact == "survey":
-        from .survey import run_survey
-        result = run_survey(_module_ids(args.modules,
-                                        TABLE1_REPRESENTATIVES), scale)
-        print(result.render())
-    elif args.artifact == "table1":
-        result = run_table1(_module_ids(args.modules,
-                                        TABLE1_REPRESENTATIVES), scale,
-                            workers=workers, log=log)
-        print(result.render())
-    elif args.artifact == "fig8":
-        module_ids = _module_ids(args.modules, tuple(SWEEPS))
-        if workers > 1:
+    with spans.span(args.artifact, scale=scale.name, workers=workers):
+        if args.artifact == "resilience":
+            from .resilience import RESILIENCE_MODULES, run_resilience
+            result = run_resilience(_module_ids(args.modules,
+                                                RESILIENCE_MODULES),
+                                    fault_profile=args.faults,
+                                    workers=workers, log=log,
+                                    metrics=metrics)
+            print(result.render())
+        elif args.artifact == "survey":
+            from .survey import run_survey
+            result = run_survey(_module_ids(args.modules,
+                                            TABLE1_REPRESENTATIVES), scale)
+            print(result.render())
+        elif args.artifact == "table1":
+            result = run_table1(_module_ids(args.modules,
+                                            TABLE1_REPRESENTATIVES), scale,
+                                workers=workers, log=log, metrics=metrics)
+            print(result.render())
+        elif args.artifact == "fig8":
+            module_ids = _module_ids(args.modules, tuple(SWEEPS))
             for result in run_fig8_many(module_ids, scale,
-                                        workers=workers, log=log):
+                                        workers=workers, log=log,
+                                        metrics=metrics):
                 print(result.render())
                 print()
+        elif args.artifact == "fig9":
+            result = run_fig9(_module_ids(args.modules,
+                                          REPRESENTATIVE_MODULES), scale,
+                              workers=workers, log=log, metrics=metrics)
+            print(result.render())
+        elif args.artifact == "fig10":
+            result = run_fig10(_module_ids(args.modules,
+                                           REPRESENTATIVE_MODULES), scale,
+                               workers=workers, log=log, metrics=metrics)
+            print(result.render())
         else:
-            for module_id in module_ids:
-                print(run_fig8(module_id, scale).render())
-                print()
-    elif args.artifact == "fig9":
-        result = run_fig9(_module_ids(args.modules,
-                                      REPRESENTATIVE_MODULES), scale,
-                          workers=workers, log=log)
-        print(result.render())
-    elif args.artifact == "fig10":
-        result = run_fig10(_module_ids(args.modules,
-                                       REPRESENTATIVE_MODULES), scale,
-                           workers=workers, log=log)
-        print(result.render())
-    else:
-        results = run_ablations(scale, workers=workers, log=log)
-        print("\n\n".join(result.render() for result in results))
+            results = run_ablations(scale, workers=workers, log=log,
+                                    metrics=metrics)
+            print("\n\n".join(result.render() for result in results))
+    wall = round(time.time() - started, 1)
     log.info("run-done", artifact=args.artifact, scale=scale.name,
-             workers=workers, seconds=round(time.time() - started, 1))
+             workers=workers, seconds=wall)
+    if args.history:
+        row_manifest = build_manifest(
+            scale=scale.name, artifact=args.artifact,
+            modules=args.modules or "default", workers=workers)
+        RunHistory(args.history).record(
+            f"eval.{args.artifact}", manifest=row_manifest,
+            metrics=metrics, spans=spans, wall_s=time.time() - started)
+        log.info("history-recorded", store=args.history,
+                 kind=f"eval.{args.artifact}")
     return 0
 
 

@@ -17,7 +17,7 @@ from ..attacks import (VendorAPattern, VendorBPattern, VendorCPattern,
 from ..attacks.sweep import HammerSweepResult
 from ..core.mapping_re import CouplingTopology
 from ..errors import ConfigError
-from ..parallel import WorkUnit, run_units
+from ..parallel import WorkUnit, run_units, unit_observability
 from ..vendors import get_module
 from .report import render_table
 from .scale import STANDARD, EvalScale
@@ -66,12 +66,14 @@ class Fig8Result:
 
 
 def run_fig8(module_id: str, scale: EvalScale = STANDARD,
-             hammer_counts=None) -> Fig8Result:
+             hammer_counts=None, obs=None) -> Fig8Result:
     if module_id not in SWEEPS and hammer_counts is None:
         raise ConfigError(
             f"no default sweep for {module_id}; pass hammer_counts")
+    if obs is None:
+        obs = unit_observability()
     spec = get_module(module_id)
-    host = scale.build_host(spec)
+    host = scale.build_host(spec, obs=obs)
     mapping = host._chip.mapping
     trr_period = spec.trr_parameters()["trr_ref_period"]
     windows = max(2 * scale.scaled_cycle(spec) // trr_period, 1)
@@ -81,7 +83,7 @@ def run_fig8(module_id: str, scale: EvalScale = STANDARD,
                                  scale.fig8_positions, coupling,
                                  margin=64)
     def fresh_host():
-        new_host = scale.build_host(spec)
+        new_host = scale.build_host(spec, obs=obs)
         return new_host, new_host._chip.mapping
 
     sweep = run_hammer_sweep(
@@ -93,11 +95,12 @@ def run_fig8(module_id: str, scale: EvalScale = STANDARD,
 
 
 def run_fig8_many(module_ids, scale: EvalScale = STANDARD,
-                  workers: int = 1, log=None) -> list[Fig8Result]:
+                  workers: int = 1, log=None,
+                  metrics=None) -> list[Fig8Result]:
     """One hammer sweep per module, sharded over *workers* processes."""
     units = [WorkUnit(unit_id=f"fig8/{module_id}", fn=run_fig8,
                       args=(module_id, scale),
                       meta={"module": module_id, "scale": scale.name,
                             "artifact": "fig8"})
              for module_id in module_ids]
-    return run_units(units, workers, log=log).values
+    return run_units(units, workers, log=log, metrics=metrics).values

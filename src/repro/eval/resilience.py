@@ -23,7 +23,7 @@ from ..core import InferenceConfig, InferredTrrProfile, TrrInference
 from ..dram import DramChip
 from ..faults import FaultInjector
 from ..obs import build_manifest
-from ..parallel import WorkUnit, run_units
+from ..parallel import WorkUnit, run_units, unit_observability
 from ..rng import derive_seed
 from ..softmc import SoftMCHost
 from ..vendors import ModuleSpec, get_module
@@ -181,11 +181,13 @@ def run_module_resilience(module_id: str, fault_profile: str = "default",
                           obs=None) -> ModuleResilience:
     """One chaos run: hardened inference on *module_id* under faults.
 
-    *obs* optionally records the run (trace/metrics/spans); the returned
-    artifact is always stamped with a run manifest carrying the fault
-    profile, the injector's per-stream RNG seeds and the recovery
-    counters.
+    *obs* optionally records the run (trace/metrics/spans) and defaults
+    to the ambient work-unit bundle; the returned artifact is always
+    stamped with a run manifest carrying the fault profile, the
+    injector's per-stream RNG seeds and the recovery counters.
     """
+    if obs is None:
+        obs = unit_observability()
     spec = get_module(module_id)
     host = _chaos_host(spec, fault_profile, seed, obs=obs)
     inference = TrrInference(host, config or hardened_inference_config())
@@ -209,7 +211,8 @@ def run_module_resilience(module_id: str, fault_profile: str = "default",
 def run_resilience(module_ids=None, fault_profile: str = "default",
                    seed: int = 0,
                    config: InferenceConfig | None = None,
-                   workers: int = 1, log=None) -> ResilienceReport:
+                   workers: int = 1, log=None,
+                   metrics=None) -> ResilienceReport:
     """Chaos runs over one representative module per vendor.
 
     With ``workers > 1`` the chaos runs shard over a process pool; a
@@ -218,7 +221,7 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
     semantics the hardened Row Scout applies to misbehaving rows.
     """
     ids = list(module_ids or RESILIENCE_MODULES)
-    if workers > 1:
+    if workers > 1 or metrics is not None:
         units = [WorkUnit(unit_id=f"resilience/{module_id}",
                           fn=run_module_resilience,
                           args=(module_id, fault_profile, seed, config),
@@ -226,7 +229,8 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
                                 "fault_profile": fault_profile,
                                 "seed": seed, "artifact": "resilience"})
                  for module_id in ids]
-        run = run_units(units, workers, quarantine=True, log=log)
+        run = run_units(units, workers, quarantine=True, log=log,
+                        metrics=metrics)
         return ResilienceReport(
             modules=run.values,
             quarantined=[(outcome.unit_id.removeprefix("resilience/"),

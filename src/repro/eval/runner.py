@@ -21,7 +21,7 @@ from ..attacks import (AccessPattern, AttackExecutor,
 from ..attacks.sweep import VulnerabilityResult
 from ..core.mapping_re import CouplingTopology
 from ..errors import AttackConfigError
-from ..parallel import WorkUnit, run_units
+from ..parallel import WorkUnit, run_units, unit_observability
 from ..softmc import SoftMCHost
 from ..vendors import ModuleSpec, get_module
 from .scale import EvalScale
@@ -88,9 +88,17 @@ def candidate_patterns(spec: ModuleSpec, host: SoftMCHost,
 
 
 def evaluate_module(spec: ModuleSpec, scale: EvalScale,
-                    positions: int | None = None) -> ModuleEvaluation:
-    """Select the best pattern on canaries, then sweep the bank."""
-    host = scale.build_host(spec)
+                    positions: int | None = None,
+                    obs=None) -> ModuleEvaluation:
+    """Select the best pattern on canaries, then sweep the bank.
+
+    *obs* defaults to the ambient work-unit bundle
+    (:func:`repro.parallel.unit_observability`), so the host's metrics
+    reach the caller's registry for any worker count.
+    """
+    if obs is None:
+        obs = unit_observability()
+    host = scale.build_host(spec, obs=obs)
     mapping = host._chip.mapping
     trr_period = spec.trr_parameters().get("trr_ref_period", 9)
     cycle = scale.scaled_cycle(spec)
@@ -134,7 +142,7 @@ def evaluate_module(spec: ModuleSpec, scale: EvalScale,
         margin=16)
 
     def fresh_host():
-        new_host = scale.build_host(spec)
+        new_host = scale.build_host(spec, obs=obs)
         return new_host, new_host._chip.mapping
 
     result = run_vulnerability_sweep(host, mapping, pattern,
@@ -159,25 +167,29 @@ def evaluate_module_unit(module_id: str, scale: EvalScale,
 
 def evaluate_modules(module_ids, scale: EvalScale,
                      positions: int | None = None, workers: int = 1,
-                     log=None) -> list[ModuleEvaluation]:
+                     log=None, metrics=None) -> list[ModuleEvaluation]:
     """Evaluate many modules, sharded over *workers* processes.
 
     Results come back in *module_ids* order whatever the scheduling;
     ``workers=1`` runs each evaluation inline on the sequential path.
+    *metrics* receives every unit's host metrics (identical totals for
+    any worker count).
     """
     units = [WorkUnit(unit_id=f"eval/{module_id}",
                       fn=evaluate_module_unit,
                       args=(module_id, scale, positions),
                       meta={"module": module_id, "scale": scale.name})
              for module_id in module_ids]
-    return run_units(units, workers, log=log).values
+    return run_units(units, workers, log=log, metrics=metrics).values
 
 
 def evaluate_baseline(spec: ModuleSpec, scale: EvalScale,
                       pattern: AccessPattern,
-                      positions: int = 8) -> VulnerabilityResult:
+                      positions: int = 8, obs=None) -> VulnerabilityResult:
     """Run a (classic) pattern against a module for the ablations."""
-    host = scale.build_host(spec)
+    if obs is None:
+        obs = unit_observability()
+    host = scale.build_host(spec, obs=obs)
     mapping = host._chip.mapping
     trr_period = spec.trr_parameters().get("trr_ref_period", 9)
     windows = max(2 * scale.scaled_cycle(spec) // trr_period, 1)
@@ -187,7 +199,7 @@ def evaluate_baseline(spec: ModuleSpec, scale: EvalScale,
                             margin=16)
 
     def fresh_host():
-        new_host = scale.build_host(spec)
+        new_host = scale.build_host(spec, obs=obs)
         return new_host, new_host._chip.mapping
 
     return run_vulnerability_sweep(host, mapping, pattern, rows,

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..attacks import measure_hc_first
 from ..core import InferenceConfig, InferredTrrProfile, TrrInference
-from ..parallel import WorkUnit, run_units
+from ..parallel import WorkUnit, run_units, unit_observability
 from ..vendors import ModuleSpec, get_module
 from .report import format_pct, render_table
 from .runner import ModuleEvaluation, evaluate_module
@@ -48,7 +48,7 @@ TABLE1_INFERENCE = InferenceConfig(
 )
 
 
-def _inference_host(spec: ModuleSpec, scale: EvalScale):
+def _inference_host(spec: ModuleSpec, scale: EvalScale, obs=None):
     """Inference needs denser weak rows than the attack sweeps (Row
     Scout must find 16+ same-bucket groups) and a VRT-free population so
     reduced validation rounds stay safe.  RowHammer thresholds stay
@@ -65,21 +65,22 @@ def _inference_host(spec: ModuleSpec, scale: EvalScale):
         config,
         refresh_cycle_refs=max(scale.scaled_cycle(spec), 2048
                                * spec.refresh_cycle_refs // 8192))
-    return SoftMCHost(DramChip(config, spec.make_trr()))
+    return SoftMCHost(DramChip(config, spec.make_trr()), obs=obs)
 
 
 def run_table1_module(module_id: str,
                       scale: EvalScale = STANDARD) -> Table1Row:
     spec = get_module(module_id)
-    inference_host = _inference_host(spec, scale)
+    obs = unit_observability()
+    inference_host = _inference_host(spec, scale, obs=obs)
     inference = TrrInference(inference_host, TABLE1_INFERENCE)
     profile = inference.run()
-    hc_host = scale.build_host(spec)
+    hc_host = scale.build_host(spec, obs=obs)
     measured = measure_hc_first(
         hc_host, hc_host._chip.mapping,
         hi=6 * scale.scaled_hc_first(spec),
         paired=spec.paired_rows)
-    evaluation = evaluate_module(spec, scale)
+    evaluation = evaluate_module(spec, scale, obs=obs)
     return Table1Row(spec=spec, profile=profile,
                      measured_hc_first=scale.unscale_hc(measured),
                      evaluation=evaluation)
@@ -128,14 +129,15 @@ TABLE1_REPRESENTATIVES = ("A0", "A13", "B0", "B9", "B13",
 
 
 def run_table1(module_ids=None, scale: EvalScale = STANDARD,
-               workers: int = 1, log=None) -> Table1Result:
+               workers: int = 1, log=None, metrics=None) -> Table1Result:
     ids = list(module_ids or TABLE1_REPRESENTATIVES)
-    if workers > 1:
+    if workers > 1 or metrics is not None:
         units = [WorkUnit(unit_id=f"table1/{module_id}",
                           fn=run_table1_module, args=(module_id, scale),
                           meta={"module": module_id, "scale": scale.name,
                                 "artifact": "table1"})
                  for module_id in ids]
-        return Table1Result(rows=run_units(units, workers, log=log).values)
+        return Table1Result(rows=run_units(units, workers, log=log,
+                                           metrics=metrics).values)
     return Table1Result(rows=[run_table1_module(module_id, scale)
                               for module_id in ids])

@@ -17,6 +17,13 @@ into auditable artifacts:
 - :class:`StructuredLog` — key=value progress logging for the CLIs.
 - ``python -m repro.obs.report trace.jsonl`` — trace summarizer and
   ledger cross-checker.
+- ``python -m repro.obs.replay trace.jsonl`` — re-executes a schema-v2
+  trace against a freshly built module and verifies clocks, per-read
+  CRC digests, and the final ledger (record/replay verification).
+- ``python -m repro.obs.diff a.jsonl b.jsonl`` — localizes the first
+  divergence between two traces and summarizes downstream drift.
+- ``python -m repro.obs.history store.jsonl --gate`` — append-only run
+  history with a cross-run regression sentinel.
 - ``python -m repro.obs`` — a traced end-to-end inference smoke run.
 
 Everything is stdlib + numpy only (numpy solely for the version stamp).
@@ -29,12 +36,42 @@ never branches on "is observability on?".
 
 from __future__ import annotations
 
+import importlib
+
 from .manifest import MANIFEST_SCHEMA, build_manifest, git_describe
 from .metrics import Histogram, MetricsRegistry, NullMetrics, bucket_bound
 from .recorder import (TRACE_VERSION, NullRecorder, TraceRecorder,
-                       read_trace, replay_ledger)
+                       data_digest, mismatch_digest, read_trace,
+                       replay_ledger)
 from .spans import NullSpans, SpanTracker
 from .structlog import StructuredLog
+
+#: Lazily-exported names from the replay/diff/history submodules.  Those
+#: modules double as ``python -m`` entry points; importing them eagerly
+#: here would make every such invocation re-import them under runpy.
+_LAZY_EXPORTS = {
+    "TraceDiff": ".diff",
+    "diff_traces": ".diff",
+    "HISTORY_SCHEMA": ".history",
+    "Regression": ".history",
+    "RunHistory": ".history",
+    "flatten_metrics": ".history",
+    "gate": ".history",
+    "span_wallclocks": ".history",
+    "ReplayResult": ".replay",
+    "host_from_manifest": ".replay",
+    "replay_trace": ".replay",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute "
+                             f"{name!r}")
+    value = getattr(importlib.import_module(module_name, __name__), name)
+    globals()[name] = value
+    return value
 
 
 class Observability:
@@ -104,6 +141,7 @@ def traced(path, *, manifest: dict | None = None,
 
 
 __all__ = [
+    "HISTORY_SCHEMA",
     "MANIFEST_SCHEMA",
     "TRACE_VERSION",
     "Histogram",
@@ -113,13 +151,25 @@ __all__ = [
     "NullSpans",
     "NULL_OBS",
     "Observability",
+    "Regression",
+    "ReplayResult",
+    "RunHistory",
     "SpanTracker",
     "StructuredLog",
+    "TraceDiff",
     "TraceRecorder",
     "bucket_bound",
     "build_manifest",
+    "data_digest",
+    "diff_traces",
+    "flatten_metrics",
+    "gate",
     "git_describe",
+    "host_from_manifest",
+    "mismatch_digest",
     "read_trace",
     "replay_ledger",
+    "replay_trace",
+    "span_wallclocks",
     "traced",
 ]

@@ -19,9 +19,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from . import build_manifest, traced
+from .history import RunHistory
 from .report import render_report, summarize
 from .recorder import read_trace
 
@@ -56,19 +58,22 @@ def run_traced_inference(module_id: str, out_dir, seed: int = 0,
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     spec = get_module(module_id)
+    # The chip recipe and derived fault seed go into the manifest so a
+    # recorded trace is self-describing: ``repro.obs.replay`` rebuilds
+    # the exact same module (and injector) from the header alone.
+    chip_kwargs = dict(rows_per_bank=8192, row_bits=1024,
+                       weak_cells_per_row_mean=2.0, vrt_fraction=0.0)
+    fault_seed = derive_seed("obs-smoke", seed, module_id)
     manifest = build_manifest(
         seed=seed, module=module_id,
         fault_profile=fault_profile or "none",
-        scale="smoke")
+        scale="smoke", chip=dict(chip_kwargs), fault_seed=fault_seed)
     obs = traced(out / "trace.jsonl", manifest=manifest)
 
-    chip = build_module(spec, rows_per_bank=8192, row_bits=1024,
-                        weak_cells_per_row_mean=2.0, vrt_fraction=0.0)
+    chip = build_module(spec, **chip_kwargs)
     faults = None
     if fault_profile:
-        faults = FaultInjector(fault_profile,
-                               seed=derive_seed("obs-smoke", seed,
-                                                module_id))
+        faults = FaultInjector(fault_profile, seed=fault_seed)
     host = SoftMCHost(chip, faults=faults, obs=obs)
     inference = TrrInference(host, config or smoke_inference_config())
     profile = inference.run()
@@ -98,8 +103,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--faults", default=None,
                         help="optional fault profile for a chaos-traced run")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="append this run (manifest, metrics, span "
+                             "wall-clocks) to a run-history store")
     args = parser.parse_args(argv)
 
+    started = time.time()
     result = run_traced_inference(args.module, args.out, seed=args.seed,
                                   fault_profile=args.faults)
     report = result["report"]
@@ -107,6 +116,11 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(f"profile: {result['profile'].summary()}")
     print(f"artifacts: {result['out']}")
+    if args.history:
+        obs = result["obs"]
+        RunHistory(args.history).record(
+            "obs.smoke", manifest=obs.manifest, metrics=obs.metrics,
+            spans=obs.spans, wall_s=time.time() - started)
     if not report.ledger_ok:
         print("ERROR: trace does not replay to the host ledger",
               file=sys.stderr)

@@ -1,0 +1,297 @@
+"""First-divergence trace diffing: ``python -m repro.obs.diff a b``.
+
+Two identically-seeded runs must produce byte-identical command streams;
+when they do not, the interesting question is never "how many records
+differ" (after the streams fork, *everything* differs) but **where they
+fork**: the first record index at which the two command streams stop
+agreeing, the virtual-ps clock of each side at that point, and which
+fields of the command changed.  :func:`diff_traces` localizes that
+point, then summarizes the downstream drift so the magnitude of the
+fork is visible at a glance:
+
+- REF-interval histogram delta (did activation pressure per REF window
+  shift?),
+- per-bank ACT deltas (did the hammering move banks?),
+- TRR-hit set delta (which hits exist only on one side?), and
+- ledger summary deltas (final REF/ACT counts).
+
+Header records are ignored by default — the manifest carries wall-clock
+and git metadata that legitimately differs between runs of the same
+experiment — and EVT records are compared like commands (a fault firing
+on one side only *is* a divergence worth localizing).
+
+CLI exits 0 when the traces are identical (modulo headers), 1 when they
+diverge, and 2 on structural errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .recorder import read_trace
+from .report import TraceReport, summarize
+
+
+def _hit_key(record: dict) -> tuple:
+    """Identity of a trr-hit event (everything but the record framing)."""
+    return tuple(sorted((key, value) for key, value in record.items()
+                        if key not in ("t", "kind")))
+
+
+@dataclass
+class FirstDivergence:
+    """Where two command streams fork."""
+
+    #: Command-record index (header/summary excluded) of the fork.
+    index: int
+    #: The forking record on each side (None past the shorter trace).
+    record_a: dict | None
+    record_b: dict | None
+    #: Virtual-ps clock of each side at the fork.
+    ps_a: int | None
+    ps_b: int | None
+    #: Field names whose values differ (or ("<missing>",) on length skew).
+    fields: tuple[str, ...]
+
+    def describe(self) -> str:
+        if self.record_a is None:
+            return (f"record #{self.index}: trace A ends here, trace B "
+                    f"continues with {_label(self.record_b)}")
+        if self.record_b is None:
+            return (f"record #{self.index}: trace B ends here, trace A "
+                    f"continues with {_label(self.record_a)}")
+        return (f"record #{self.index}: {_label(self.record_a)} vs "
+                f"{_label(self.record_b)} — fields "
+                f"{', '.join(self.fields)} differ "
+                f"(clock A={self.ps_a} ps, B={self.ps_b} ps)")
+
+
+def _label(record: dict | None) -> str:
+    if record is None:
+        return "<end of trace>"
+    op = record.get("t", record.get("type", "?"))
+    if op == "EVT":
+        return f"EVT[{record.get('kind')}]"
+    return str(op)
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of :func:`diff_traces`."""
+
+    path_a: str
+    path_b: str
+    divergence: FirstDivergence | None
+    #: Command records compared (min of the two streams' lengths).
+    compared: int
+    report_a: TraceReport
+    report_b: TraceReport
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    # -- downstream drift ---------------------------------------------------
+
+    def ref_histogram_delta(self) -> dict[str, dict]:
+        """Per-bucket REF-window histogram counts on each side."""
+        a = self.report_a.acts_between_refs
+        b = self.report_b.acts_between_refs
+        buckets = sorted(set(a.buckets) | set(b.buckets),
+                         key=lambda bound: float(bound))
+        return {str(bound): {"a": a.buckets.get(bound, 0),
+                             "b": b.buckets.get(bound, 0)}
+                for bound in buckets}
+
+    def per_bank_act_delta(self) -> dict[int, int]:
+        """``bank -> acts_b - acts_a`` for banks where they differ."""
+        banks = set(self.report_a.per_bank_acts)
+        banks |= set(self.report_b.per_bank_acts)
+        delta = {}
+        for bank in sorted(banks):
+            diff = (self.report_b.per_bank_acts.get(bank, 0)
+                    - self.report_a.per_bank_acts.get(bank, 0))
+            if diff:
+                delta[bank] = diff
+        return delta
+
+    def trr_hit_delta(self) -> dict[str, list[dict]]:
+        """TRR hits present on only one side."""
+        keys_a = {_hit_key(hit) for hit in self.report_a.trr_hits}
+        keys_b = {_hit_key(hit) for hit in self.report_b.trr_hits}
+        return {
+            "a_only": [hit for hit in self.report_a.trr_hits
+                       if _hit_key(hit) not in keys_b],
+            "b_only": [hit for hit in self.report_b.trr_hits
+                       if _hit_key(hit) not in keys_a],
+        }
+
+    def by_type_delta(self) -> dict[str, dict]:
+        """Record counts by command type on each side (where different)."""
+        counts_a = self.report_a.replay["by_type"]
+        counts_b = self.report_b.replay["by_type"]
+        delta = {}
+        for op in sorted(set(counts_a) | set(counts_b)):
+            a, b = counts_a.get(op, 0), counts_b.get(op, 0)
+            if a != b:
+                delta[op] = {"a": a, "b": b}
+        return delta
+
+    def ledger_delta(self) -> dict:
+        """Final replayed-ledger counts on each side."""
+        a, b = self.report_a.replay, self.report_b.replay
+        return {
+            "ref_count": {"a": a["ref_count"], "b": b["ref_count"]},
+            "total_acts": {"a": sum(a["acts_per_bank"].values()),
+                           "b": sum(b["acts_per_bank"].values())},
+            "events": {"a": a["events"], "b": b["events"]},
+        }
+
+
+def _body(records: list[dict]) -> list[dict]:
+    """Command + EVT records (header and summary framing stripped)."""
+    return [record for record in records if record.get("type") is None]
+
+
+def find_divergence(records_a: list[dict], records_b: list[dict]
+                    ) -> FirstDivergence | None:
+    """First index at which two command streams disagree, or None."""
+    body_a, body_b = _body(records_a), _body(records_b)
+    for index in range(min(len(body_a), len(body_b))):
+        a, b = body_a[index], body_b[index]
+        if a == b:
+            continue
+        fields = tuple(sorted(
+            key for key in set(a) | set(b) if a.get(key) != b.get(key)))
+        return FirstDivergence(index=index, record_a=a, record_b=b,
+                               ps_a=a.get("ps"), ps_b=b.get("ps"),
+                               fields=fields)
+    if len(body_a) != len(body_b):
+        index = min(len(body_a), len(body_b))
+        a = body_a[index] if index < len(body_a) else None
+        b = body_b[index] if index < len(body_b) else None
+        return FirstDivergence(
+            index=index, record_a=a, record_b=b,
+            ps_a=None if a is None else a.get("ps"),
+            ps_b=None if b is None else b.get("ps"),
+            fields=("<missing>",))
+    return None
+
+
+def diff_traces(path_a, path_b) -> TraceDiff:
+    """Align two traces and localize their first divergence."""
+    records_a = list(read_trace(path_a))
+    records_b = list(read_trace(path_b))
+    for path, records in ((path_a, records_a), (path_b, records_b)):
+        if not records or records[0].get("type") != "header":
+            raise ConfigError(f"{path}: not a trace (no header record)")
+    divergence = find_divergence(records_a, records_b)
+    return TraceDiff(path_a=str(path_a), path_b=str(path_b),
+                     divergence=divergence,
+                     compared=min(len(_body(records_a)),
+                                  len(_body(records_b))),
+                     report_a=summarize(records_a),
+                     report_b=summarize(records_b))
+
+
+def render_diff(diff: TraceDiff) -> str:
+    """Plain-text rendering of a :func:`diff_traces` result."""
+    lines = ["Trace diff", "==========", "",
+             f"A: {diff.path_a}", f"B: {diff.path_b}", ""]
+    if diff.identical:
+        lines.append(f"identical: all {diff.compared} command records "
+                     "match (headers ignored)")
+        return "\n".join(lines)
+
+    lines.append("First divergence")
+    lines.append("----------------")
+    lines.append(f"  {diff.divergence.describe()}")
+    lines.append("")
+
+    lines.append("Downstream drift")
+    lines.append("----------------")
+    by_type = diff.by_type_delta()
+    if by_type:
+        lines.append("  record counts by type:")
+        for op, sides in by_type.items():
+            lines.append(f"    {op:<5} A={sides['a']:>8}  "
+                         f"B={sides['b']:>8}")
+    bank_delta = diff.per_bank_act_delta()
+    if bank_delta:
+        lines.append("  per-bank ACT delta (B - A):")
+        for bank, delta in bank_delta.items():
+            lines.append(f"    bank {bank:>3} {delta:+d}")
+    histogram = diff.ref_histogram_delta()
+    shifted = {bound: sides for bound, sides in histogram.items()
+               if sides["a"] != sides["b"]}
+    if shifted:
+        lines.append("  REF-window ACT histogram (shifted buckets):")
+        for bound, sides in shifted.items():
+            lines.append(f"    <= {bound:>8} A={sides['a']:>6}  "
+                         f"B={sides['b']:>6}")
+    hits = diff.trr_hit_delta()
+    if hits["a_only"] or hits["b_only"]:
+        lines.append(f"  TRR hits only in A: {len(hits['a_only'])}, "
+                     f"only in B: {len(hits['b_only'])}")
+    ledger = diff.ledger_delta()
+    lines.append(f"  final ledger: REFs A={ledger['ref_count']['a']} "
+                 f"B={ledger['ref_count']['b']}, total ACTs "
+                 f"A={ledger['total_acts']['a']} "
+                 f"B={ledger['total_acts']['b']}")
+    return "\n".join(lines)
+
+
+def _json_payload(diff: TraceDiff) -> dict:
+    divergence = None
+    if diff.divergence is not None:
+        divergence = {
+            "index": diff.divergence.index,
+            "record_a": diff.divergence.record_a,
+            "record_b": diff.divergence.record_b,
+            "ps_a": diff.divergence.ps_a,
+            "ps_b": diff.divergence.ps_b,
+            "fields": list(diff.divergence.fields),
+        }
+    return {
+        "a": diff.path_a,
+        "b": diff.path_b,
+        "identical": diff.identical,
+        "compared": diff.compared,
+        "divergence": divergence,
+        "by_type_delta": diff.by_type_delta(),
+        "per_bank_act_delta": {str(bank): delta for bank, delta
+                               in diff.per_bank_act_delta().items()},
+        "ref_histogram_delta": diff.ref_histogram_delta(),
+        "trr_hit_delta": diff.trr_hit_delta(),
+        "ledger_delta": diff.ledger_delta(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.diff",
+        description="Localize the first divergence between two command "
+                    "traces and summarize the downstream drift.")
+    parser.add_argument("trace_a", help="baseline trace .jsonl")
+    parser.add_argument("trace_b", help="candidate trace .jsonl")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the diff as JSON instead of text")
+    args = parser.parse_args(argv)
+    try:
+        diff = diff_traces(args.trace_a, args.trace_b)
+    except ConfigError as error:
+        print(f"diff error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_json_payload(diff), indent=2))
+    else:
+        print(render_diff(diff))
+    return 0 if diff.identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram | dict") -> None:
+        """Fold *other* (a Histogram or its ``as_dict`` form) into self.
+
+        Merging is exact for count/min/max/buckets; ``total`` is a float
+        sum, so mean is exact whenever the observed values are (as all
+        current pipeline observations are integers).
+        """
+        if isinstance(other, dict):
+            counts = {int(bound): count
+                      for bound, count in other.get("buckets", {}).items()}
+            other = Histogram(count=other.get("count", 0),
+                              total=other.get("total", 0.0),
+                              min=other.get("min"), max=other.get("max"),
+                              buckets=counts)
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or (other.min is not None
+                                and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None
+                                and other.max > self.max):
+            self.max = other.max
+        for bound, count in other.buckets.items():
+            self.buckets[bound] = self.buckets.get(bound, 0) + count
+
     def as_dict(self) -> dict:
         return {"count": self.count, "total": self.total,
                 "min": self.min, "max": self.max,
@@ -101,6 +128,33 @@ class MetricsRegistry:
     def counters_with_prefix(self, prefix: str) -> dict[str, int]:
         return {name: value for name, value in sorted(self._counters.items())
                 if name.startswith(prefix)}
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other) -> None:
+        """Fold another registry (or an ``as_dict`` dump) into this one.
+
+        Counters and histogram counts add; gauges take the other side's
+        value (last writer wins, matching ``set_gauge`` semantics).  The
+        parallel engine uses this to fold each work unit's metrics into
+        the parent registry, so a ``--workers N`` run exports the same
+        totals as a sequential one.
+        """
+        if isinstance(other, dict):
+            data = other
+        else:
+            if not getattr(other, "enabled", False):
+                return
+            data = other.as_dict()
+        for name, value in data.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in data.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, dump in data.get("histograms", {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.merge(dump)
 
     # -- export --------------------------------------------------------------
 
@@ -153,6 +207,9 @@ class NullMetrics:
 
     def counters_with_prefix(self, prefix: str) -> dict[str, int]:
         return {}
+
+    def merge(self, other) -> None:
+        pass
 
     def as_dict(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

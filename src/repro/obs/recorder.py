@@ -19,6 +19,13 @@ Traces are *deterministic*: every field derives from the simulation
 (host clock, REF index, row addresses), never from the wall clock, so
 two identically-seeded runs produce byte-identical event streams.
 
+Schema **v2** additionally makes a trace *executable*: WR records carry
+the written pattern's spec, RD records carry a CRC-32 digest of the
+read-back payload, and multi-bank hammer batches are group-stamped, so
+:mod:`repro.obs.replay` can re-issue the whole command stream against a
+freshly built module and verify every read.  v1 traces (no digests)
+still load, report, and ledger-replay.
+
 The disabled path is :class:`NullRecorder` — a strict no-op whose
 ``enabled`` flag lets hot paths skip even the method call.
 """
@@ -26,12 +33,31 @@ The disabled path is :class:`NullRecorder` — a strict no-op whose
 from __future__ import annotations
 
 import json
+import zlib
 from typing import IO, Iterable, Iterator
+
+import numpy as np
 
 from ..errors import ConfigError
 
 #: Bump when the record schema changes shape (see docs/OBSERVABILITY.md).
-TRACE_VERSION = 1
+#: v2 added RD digests, WR pattern specs, and multi-batch group stamps.
+TRACE_VERSION = 2
+
+
+def data_digest(bits) -> int:
+    """CRC-32 of a read-back bit array (cheap, deterministic).
+
+    The digest covers exactly what the experimenter sees — post
+    fault-injection — so a replayed run with the same injector seed must
+    reproduce it bit for bit.
+    """
+    return zlib.crc32(np.ascontiguousarray(bits).tobytes())
+
+
+def mismatch_digest(positions) -> int:
+    """CRC-32 of a mismatch-position list (``read_row_mismatches``)."""
+    return zlib.crc32(np.asarray(positions, dtype=np.int64).tobytes())
 
 
 def _dumps(record: dict) -> str:
@@ -51,13 +77,16 @@ class NullRecorder:
     events = 0
     path = None
 
-    def on_write(self, ps: int, bank: int, row: int) -> None:
+    def on_write(self, ps: int, bank: int, row: int,
+                 pattern=None) -> None:
         pass
 
-    def on_read(self, ps: int, bank: int, row: int) -> None:
+    def on_read(self, ps: int, bank: int, row: int, digest=None,
+                mismatches: bool = False) -> None:
         pass
 
-    def on_act(self, ps: int, bank: int, entries, mode) -> None:
+    def on_act(self, ps: int, bank: int, entries, mode,
+               group: int | None = None) -> None:
         pass
 
     def on_ref(self, ps: int, index: int, count: int,
@@ -85,11 +114,16 @@ class TraceRecorder:
 
     Record shapes (all share the host picosecond timestamp ``ps``):
 
-    - ``{"type":"header","version":1,"meta":{...}}`` — first line.
-    - ``{"t":"WR","ps":..,"bk":..,"row":..}`` — row write (1 implicit ACT).
-    - ``{"t":"RD","ps":..,"bk":..,"row":..}`` — row read (1 implicit ACT).
+    - ``{"type":"header","version":2,"meta":{...}}`` — first line.
+    - ``{"t":"WR","ps":..,"bk":..,"row":..,"pat":..}`` — row write
+      (1 implicit ACT); ``pat`` is the written pattern's spec
+      (:func:`repro.dram.pattern_spec`).
+    - ``{"t":"RD","ps":..,"bk":..,"row":..,"crc":..}`` — row read
+      (1 implicit ACT); ``crc`` digests the read-back bits, ``"mm":1``
+      marks a mismatch-positions read (``crc`` then digests positions).
     - ``{"t":"ACT","ps":..,"bk":..,"n":..,"rows":[[row,count],..],
-      "mode":"cascaded"}`` — one hammer batch.
+      "mode":"cascaded"}`` — one hammer batch; ``"mg":k`` marks a record
+      belonging to a k-bank ``hammer_multi`` group.
     - ``{"t":"REF","ps":..,"idx":..,"n":..}`` — REF burst; ``idx`` is the
       host's REF counter *before* the burst.
     - ``{"t":"WAIT","ps":..,"dur":..}`` — idle time, refresh disabled.
@@ -133,18 +167,36 @@ class TraceRecorder:
 
     # -- command hooks (called by SoftMCHost) --------------------------------
 
-    def on_write(self, ps: int, bank: int, row: int) -> None:
-        self._emit({"t": "WR", "ps": ps, "bk": bank, "row": row})
+    def on_write(self, ps: int, bank: int, row: int,
+                 pattern=None) -> None:
+        """*pattern* is the written pattern's replayable spec (v2)."""
+        record = {"t": "WR", "ps": ps, "bk": bank, "row": row}
+        if pattern is not None:
+            record["pat"] = pattern
+        self._emit(record)
 
-    def on_read(self, ps: int, bank: int, row: int) -> None:
-        self._emit({"t": "RD", "ps": ps, "bk": bank, "row": row})
+    def on_read(self, ps: int, bank: int, row: int, digest=None,
+                mismatches: bool = False) -> None:
+        """*digest* is the CRC-32 of the read-back payload (v2);
+        *mismatches* marks a ``read_row_mismatches`` call."""
+        record = {"t": "RD", "ps": ps, "bk": bank, "row": row}
+        if mismatches:
+            record["mm"] = 1
+        if digest is not None:
+            record["crc"] = digest
+        self._emit(record)
 
-    def on_act(self, ps: int, bank: int, entries, mode) -> None:
-        """One hammer batch: *entries* is a ``((row, count), ...)`` tuple."""
-        self._emit({"t": "ACT", "ps": ps, "bk": bank,
-                    "n": sum(count for _, count in entries),
-                    "rows": [[row, count] for row, count in entries],
-                    "mode": mode.value})
+    def on_act(self, ps: int, bank: int, entries, mode,
+               group: int | None = None) -> None:
+        """One hammer batch: *entries* is a ``((row, count), ...)`` tuple;
+        *group* stamps the batch count of a ``hammer_multi`` call."""
+        record = {"t": "ACT", "ps": ps, "bk": bank,
+                  "n": sum(count for _, count in entries),
+                  "rows": [[row, count] for row, count in entries],
+                  "mode": mode.value}
+        if group is not None:
+            record["mg"] = group
+        self._emit(record)
 
     def on_ref(self, ps: int, index: int, count: int,
                nominal: bool = False) -> None:

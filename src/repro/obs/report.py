@@ -40,12 +40,25 @@ class TraceReport:
 
     @property
     def ledger_ok(self) -> bool:
+        return self.ledger_status == "ok"
+
+    @property
+    def ledger_status(self) -> str:
+        """``"ok"``, ``"mismatch"``, or ``"truncated"``.
+
+        ``"truncated"`` means the trace ends without a summary record —
+        the run died (or the recorder was never finalized) before the
+        host ledger could be stamped, which is a different failure from
+        a ledger that is present but wrong.
+        """
         summary = self.replay["summary"]
         if summary is None:
-            return False
-        return (summary.get("ref_count") == self.replay["ref_count"]
+            return "truncated"
+        if (summary.get("ref_count") == self.replay["ref_count"]
                 and summary.get("acts_per_bank")
-                == self.replay["acts_per_bank"])
+                == self.replay["acts_per_bank"]):
+            return "ok"
+        return "mismatch"
 
 
 def summarize(records) -> TraceReport:
@@ -166,8 +179,8 @@ def render_report(report: TraceReport, max_hits: int = 40) -> str:
     lines.append("------------------")
     summary = replay["summary"]
     if summary is None:
-        lines.append("  FAIL: trace has no summary record (host ledger "
-                     "missing — was the recorder finalized?)")
+        lines.append("  FAIL: trace truncated: no summary record (host "
+                     "ledger missing — was the recorder finalized?)")
     else:
         lines.append(f"  replayed REFs : {replay['ref_count']}  "
                      f"(ledger {summary.get('ref_count')})")
@@ -204,11 +217,18 @@ def main(argv: list[str] | None = None) -> int:
             "trr_hits": report.trr_hits,
             "fault_counts": report.fault_counts,
             "ledger_ok": report.ledger_ok,
+            "ledger_status": report.ledger_status,
         }
         print(json.dumps(payload, indent=2))
     else:
         print(render_report(report, max_hits=args.max_hits))
-    return 0 if report.ledger_ok else 1
+    status = report.ledger_status
+    if status == "truncated":
+        # Distinct exit code: a cut-off trace (crashed run, recorder
+        # never finalized) is not the same failure as a wrong ledger.
+        print("trace truncated: no summary record", file=sys.stderr)
+        return 3
+    return 0 if status == "ok" else 1
 
 
 if __name__ == "__main__":

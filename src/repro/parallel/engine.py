@@ -24,6 +24,14 @@ What does NOT come for free is *reproducibility discipline*:
 * **Auditability** — every unit gets a :func:`repro.obs.build_manifest`
   manifest (``include_time=False``, no worker identity) so per-unit
   artifacts from a parallel run diff clean against a sequential run.
+* **Complete metrics** — each work unit records into an *ambient*
+  per-unit :class:`~repro.obs.MetricsRegistry` (reachable inside the
+  unit via :func:`unit_observability`); pool workers ship their
+  registry back with the result and the engine folds every unit's
+  counters and histograms into the caller's registry **in submission
+  order**, so ``metrics.json`` from a ``--workers N`` run equals the
+  sequential one.  With ``workers=1`` the ambient registry *is* the
+  caller's registry — no copy, the exact sequential path.
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigError
-from ..obs import build_manifest
+from ..obs import NULL_OBS, MetricsRegistry, Observability, build_manifest
 from ..rng import SeedSequenceFactory
 
 #: Root of every engine-derived seed; unit seeds depend only on the
@@ -46,6 +54,27 @@ ENGINE_SEEDS = SeedSequenceFactory("repro.parallel")
 def unit_seed(unit_id: str) -> int:
     """Stable 64-bit seed for a work unit (independent of scheduling)."""
     return ENGINE_SEEDS.seed(unit_id)
+
+
+#: The ambient per-unit metrics registry: bound while a work unit's
+#: function executes (to the caller's registry inline, to a fresh
+#: shipped-home registry in a pool worker), None outside any unit.
+_unit_metrics: MetricsRegistry | None = None
+
+
+def unit_observability() -> Observability:
+    """The executing work unit's ambient observability bundle.
+
+    Unit functions call this (directly or via an ``obs=None`` fallback)
+    to reach the registry the engine folds into the caller's metrics.
+    Outside a unit — or when the caller runs without metrics — this is
+    :data:`~repro.obs.NULL_OBS`, so instrumented code never branches.
+    """
+    if _unit_metrics is None:
+        return NULL_OBS
+    return Observability(recorder=NULL_OBS.recorder,
+                         metrics=_unit_metrics,
+                         spans=NULL_OBS.spans)
 
 
 def default_workers() -> int:
@@ -91,6 +120,9 @@ class UnitOutcome:
     quarantined: bool = False
     error: str | None = None
     manifest: dict = field(default_factory=dict)
+    #: Metrics the unit recorded (``as_dict`` form; pool runs only —
+    #: inline units write straight into the caller's registry).
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -123,14 +155,40 @@ class ParallelRun:
         return [outcome.manifest for outcome in self.outcomes]
 
 
+@dataclass
+class _UnitEnvelope:
+    """Pool-worker return wrapper: the unit's value plus its metrics.
+
+    Only used when the unit actually recorded metrics, so units that
+    never touch observability pickle exactly what they always did.
+    """
+
+    value: Any
+    metrics: dict
+
+
 def _call_unit(unit: WorkUnit) -> Any:
-    """Top-level trampoline the pool pickles instead of the unit fn."""
-    return unit.run()
+    """Top-level trampoline the pool pickles instead of the unit fn.
+
+    Runs in the worker process: binds a fresh ambient registry for the
+    unit's duration and ships it home with the result when non-empty.
+    """
+    global _unit_metrics
+    registry = MetricsRegistry()
+    _unit_metrics = registry
+    try:
+        value = unit.run()
+    finally:
+        _unit_metrics = None
+    dump = registry.as_dict()
+    if any(dump.values()):
+        return _UnitEnvelope(value=value, metrics=dump)
+    return value
 
 
 def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
               max_attempts: int = 2, quarantine: bool = False,
-              log=None) -> ParallelRun:
+              log=None, metrics=None) -> ParallelRun:
     """Execute *units*, return outcomes in input order.
 
     ``workers=1`` runs every unit inline in this process — the exact
@@ -142,6 +200,11 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
 
     *log*, when given, is a :class:`repro.obs.StructuredLog`; the engine
     emits ``unit-done`` / ``unit-retry`` / ``unit-quarantined`` events.
+
+    *metrics*, when given, is a :class:`repro.obs.MetricsRegistry` that
+    receives every unit's recorded metrics: bound as the ambient unit
+    registry inline, folded in submission order from pool workers — the
+    final registry is identical for any worker count.
     """
     if workers < 1:
         raise ConfigError("workers must be >= 1")
@@ -150,16 +213,29 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
     unit_ids = [unit.unit_id for unit in units]
     if len(set(unit_ids)) != len(unit_ids):
         raise ConfigError("work unit ids must be unique")
+    if metrics is not None and not metrics.enabled:
+        metrics = None
     if workers == 1:
-        return _run_inline(units, log=log)
-    return _run_pool(units, workers, max_attempts=max_attempts,
-                     quarantine=quarantine, log=log)
+        return _run_inline(units, log=log, metrics=metrics)
+    run = _run_pool(units, workers, max_attempts=max_attempts,
+                    quarantine=quarantine, log=log)
+    if metrics is not None:
+        for outcome in run.outcomes:
+            if outcome.metrics:
+                metrics.merge(outcome.metrics)
+    return run
 
 
-def _run_inline(units: Sequence[WorkUnit], log=None) -> ParallelRun:
+def _run_inline(units: Sequence[WorkUnit], log=None,
+                metrics=None) -> ParallelRun:
+    global _unit_metrics
     outcomes = []
     for unit in units:
-        value = unit.run()
+        _unit_metrics = metrics
+        try:
+            value = unit.run()
+        finally:
+            _unit_metrics = None
         if log is not None:
             log.info("unit-done", unit=unit.unit_id, attempts=1)
         outcomes.append(UnitOutcome(unit_id=unit.unit_id, value=value,
@@ -228,10 +304,15 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
                     if log is not None:
                         log.info("unit-done", unit=unit.unit_id,
                                  attempts=attempts[unit.unit_id])
+                    unit_metrics = None
+                    if isinstance(value, _UnitEnvelope):
+                        unit_metrics = value.metrics
+                        value = value.value
                     slots[unit.unit_id] = UnitOutcome(
                         unit_id=unit.unit_id, value=value,
                         attempts=attempts[unit.unit_id],
-                        manifest=unit.manifest())
+                        manifest=unit.manifest(),
+                        metrics=unit_metrics)
             if broken:
                 # Every unit still in flight died with the pool; re-run
                 # them all on a fresh pool (bounded by max_attempts).
@@ -269,7 +350,7 @@ def parallel_map(fn: Callable[..., Any], calls: Sequence[tuple],
                  unit_ids: Sequence[str], workers: int = 1, *,
                  meta: Sequence[dict] | None = None,
                  max_attempts: int = 2, quarantine: bool = False,
-                 log=None) -> ParallelRun:
+                 log=None, metrics=None) -> ParallelRun:
     """Map *fn* over positional-argument tuples as one unit per call."""
     if len(calls) != len(unit_ids):
         raise ConfigError("calls and unit_ids must have equal length")
@@ -279,4 +360,4 @@ def parallel_map(fn: Callable[..., Any], calls: Sequence[tuple],
     units = [WorkUnit(unit_id=uid, fn=fn, args=tuple(args), meta=m)
              for uid, args, m in zip(unit_ids, calls, metas)]
     return run_units(units, workers, max_attempts=max_attempts,
-                     quarantine=quarantine, log=log)
+                     quarantine=quarantine, log=log, metrics=metrics)

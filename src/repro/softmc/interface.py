@@ -19,8 +19,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..dram import ActBatch, DataPattern, DramChip, HammerMode
+from ..dram import (ActBatch, DataPattern, DramChip, HammerMode,
+                    pattern_spec)
 from ..errors import ConfigError
+from ..obs.recorder import data_digest, mismatch_digest
 from ..units import ms, us
 
 if TYPE_CHECKING:
@@ -60,6 +62,10 @@ class SoftMCHost:
                                     and metrics.enabled) else None
         #: ACTs accumulated since the last REF burst (metrics only).
         self._window_acts = 0
+        #: Identity-keyed memo of written-pattern trace specs (recording
+        #: only): aggressor data patterns are reused across many writes,
+        #: so each is serialized once, not per WR record.
+        self._pattern_specs: dict[int, tuple] = {}
         if faults is not None:
             faults.attach(chip)
             if obs is not None:
@@ -125,10 +131,23 @@ class SoftMCHost:
 
     # -- data movement -------------------------------------------------------
 
+    def _pattern_spec(self, pattern: DataPattern):
+        """Memoized :func:`repro.dram.pattern_spec` (identity-keyed)."""
+        key = id(pattern)
+        hit = self._pattern_specs.get(key)
+        if hit is not None and hit[0] is pattern:
+            return hit[1]
+        spec = pattern_spec(pattern)
+        if len(self._pattern_specs) >= 128:
+            self._pattern_specs.clear()
+        self._pattern_specs[key] = (pattern, spec)
+        return spec
+
     def write_row(self, bank: int, row: int, pattern: DataPattern) -> None:
         """Write *pattern* into the row (logical addressing)."""
         if self._rec is not None:
-            self._rec.on_write(self._chip.now_ps, bank, row)
+            self._rec.on_write(self._chip.now_ps, bank, row,
+                               pattern=self._pattern_spec(pattern))
         self._count_acts(bank, 1)
         self._tick()
         if self._faults is not None and self._faults.drop_write(
@@ -138,25 +157,32 @@ class SoftMCHost:
 
     def read_row(self, bank: int, row: int) -> np.ndarray:
         """Read the row's current bits."""
-        if self._rec is not None:
-            self._rec.on_read(self._chip.now_ps, bank, row)
+        issue_ps = self._chip.now_ps if self._rec is not None else 0
         self._count_acts(bank, 1)
         self._tick()
         bits = self._chip.read_row(bank, row)
         if self._faults is not None:
             bits = self._faults.corrupt_bits(bits)
+        if self._rec is not None:
+            # Recorded after the data round-trip so the record can carry
+            # the payload digest; ``ps`` is still the issue-time clock.
+            self._rec.on_read(issue_ps, bank, row,
+                              digest=data_digest(bits))
         return bits
 
     def read_row_mismatches(self, bank: int, row: int) -> list[int]:
         """Bit positions differing from the last written data."""
-        if self._rec is not None:
-            self._rec.on_read(self._chip.now_ps, bank, row)
+        issue_ps = self._chip.now_ps if self._rec is not None else 0
         self._count_acts(bank, 1)
         self._tick()
         mismatches = self._chip.read_row_mismatches(bank, row)
         if self._faults is not None:
             mismatches = self._faults.corrupt_mismatches(
                 self._chip.config.row_bits, mismatches)
+        if self._rec is not None:
+            self._rec.on_read(issue_ps, bank, row,
+                              digest=mismatch_digest(mismatches),
+                              mismatches=True)
         return mismatches
 
     # -- hammering ------------------------------------------------------------
@@ -198,7 +224,8 @@ class SoftMCHost:
         for batch in batches:
             if self._rec is not None:
                 self._rec.on_act(self._chip.now_ps, batch.bank,
-                                 batch.pattern, batch.mode)
+                                 batch.pattern, batch.mode,
+                                 group=len(batches))
             self._count_acts(batch.bank, batch.total)
         self._tick()
         self._chip.hammer_multi(batches)

@@ -1,0 +1,176 @@
+"""First-divergence trace diffing: alignment, drift, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dram import HammerMode
+from repro.errors import ConfigError
+from repro.obs import traced
+from repro.obs.diff import diff_traces, find_divergence, main, render_diff
+from .conftest import drive, small_host
+
+
+def _trace(path, workload=drive, manifest=None, events=()):
+    obs = traced(path, manifest=manifest or {"module": "B0", "seed": 1})
+    host = small_host(obs=obs)
+    workload(host)
+    for kind, fields in events:
+        obs.event(kind, ps=host.now_ps, **fields)
+    obs.finalize(host)
+    return host
+
+
+def _drifted_drive(host):
+    """drive() with one extra hammer pulse on the first aggressor."""
+    from repro.dram.patterns import AllOnes
+    host.write_row(0, 10, AllOnes())
+    host.read_row(0, 10)
+    host.read_row_mismatches(1, 20)
+    host.hammer(0, [(30, 9), (32, 5)], HammerMode.INTERLEAVED)
+    host.hammer_single(1, 40, 11)
+    host.hammer_multi({0: [(50, 3)], 1: [(60, 2)]})
+    host.refresh(4)
+    host.wait_us(50)
+    host.refresh(1, at_nominal_rate=True)
+
+
+def test_identical_runs_diff_clean(tmp_path):
+    _trace(tmp_path / "a.jsonl")
+    _trace(tmp_path / "b.jsonl")
+    diff = diff_traces(tmp_path / "a.jsonl", tmp_path / "b.jsonl")
+    assert diff.identical
+    assert diff.divergence is None
+    assert diff.compared > 0
+    assert diff.per_bank_act_delta() == {}
+    assert diff.by_type_delta() == {}
+    assert diff.trr_hit_delta() == {"a_only": [], "b_only": []}
+
+
+def test_headers_are_ignored(tmp_path):
+    # Wall-clock and git metadata legitimately differ between runs of
+    # the same experiment; only the command stream is compared.
+    _trace(tmp_path / "a.jsonl", manifest={"module": "B0", "run": 1})
+    _trace(tmp_path / "b.jsonl", manifest={"module": "B0", "run": 2})
+    assert diff_traces(tmp_path / "a.jsonl", tmp_path / "b.jsonl").identical
+
+
+def test_first_divergence_localized(tmp_path):
+    _trace(tmp_path / "a.jsonl")
+    _trace(tmp_path / "b.jsonl", workload=_drifted_drive,
+           events=[("trr-hit", {"bank": 0, "row": 30, "physical": 30})])
+    diff = diff_traces(tmp_path / "a.jsonl", tmp_path / "b.jsonl")
+    assert not diff.identical
+    fork = diff.divergence
+    # Body order: WR, RD, RD, ACT(hammer) — the fork is the hammer.
+    assert fork.index == 3
+    assert fork.record_a["t"] == "ACT"
+    assert fork.record_b["t"] == "ACT"
+    assert "n" in fork.fields and "rows" in fork.fields
+    assert fork.ps_a == fork.ps_b  # clocks agree *at* the fork
+    assert "record #3" in fork.describe()
+
+    # Downstream drift: two extra ACTs on bank 0, one extra EVT in B.
+    assert diff.per_bank_act_delta() == {0: 2}
+    by_type = diff.by_type_delta()
+    assert by_type["EVT"] == {"a": 0, "b": 1}
+    hits = diff.trr_hit_delta()
+    assert hits["a_only"] == []
+    assert len(hits["b_only"]) == 1
+    ledger = diff.ledger_delta()
+    assert ledger["ref_count"] == {"a": 5, "b": 5}
+    assert (ledger["total_acts"]["b"]
+            == ledger["total_acts"]["a"] + 2)
+
+    text = render_diff(diff)
+    assert "First divergence" in text
+    assert "Downstream drift" in text
+    assert "per-bank ACT delta" in text
+
+
+def test_different_fault_seeds_diverge(tmp_path):
+    # The run seed enters the command/data stream only through the
+    # fault injector; two runs differing solely in fault seed must fork
+    # at a read digest (or a fault EVT), and the diff pinpoints it.
+    from repro.faults import FaultInjector, FaultProfile
+
+    from repro.dram import DeviceConfig, DramChip
+    from repro.softmc import SoftMCHost
+
+    noisy = FaultProfile(name="test-noise", read_noise_probability=0.5)
+    for name, seed in (("a", 1), ("b", 2)):
+        obs = traced(tmp_path / f"{name}.jsonl",
+                     manifest={"module": "B0", "seed": seed})
+        config = DeviceConfig(name="obs-test", serial=7, num_banks=2,
+                              rows_per_bank=4096, row_bits=64,
+                              refresh_cycle_refs=1024)
+        host = SoftMCHost(DramChip(config),
+                          faults=FaultInjector(noisy, seed=seed),
+                          obs=obs)
+        drive(host)
+        for _ in range(20):
+            host.read_row(0, 10)
+        obs.finalize(host)
+    diff = diff_traces(tmp_path / "a.jsonl", tmp_path / "b.jsonl")
+    assert not diff.identical
+    assert diff.divergence.index >= 0
+    assert diff.divergence.record_a is not None
+
+
+def test_length_skew_divergence(tmp_path):
+    def longer(host):
+        drive(host)
+        host.refresh(1)
+    _trace(tmp_path / "a.jsonl")
+    _trace(tmp_path / "b.jsonl", workload=longer)
+    diff = diff_traces(tmp_path / "a.jsonl", tmp_path / "b.jsonl")
+    fork = diff.divergence
+    assert fork.fields == ("<missing>",)
+    assert fork.record_a is None
+    assert fork.record_b["t"] == "REF"
+    assert fork.index == diff.compared
+    assert "trace A ends here" in fork.describe()
+
+
+def test_find_divergence_pure():
+    a = [{"type": "header"}, {"t": "WR", "ps": 0, "bk": 0, "row": 1}]
+    b = [{"type": "header"}, {"t": "WR", "ps": 0, "bk": 0, "row": 2}]
+    fork = find_divergence(a, b)
+    assert fork.index == 0
+    assert fork.fields == ("row",)
+    assert find_divergence(a, a) is None
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    _trace(tmp_path / "a.jsonl")
+    _trace(tmp_path / "b.jsonl")
+    _trace(tmp_path / "c.jsonl", workload=_drifted_drive)
+
+    assert main([str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    code = main([str(tmp_path / "a.jsonl"), str(tmp_path / "c.jsonl"),
+                 "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["identical"] is False
+    assert payload["divergence"]["index"] == 3
+    assert payload["per_bank_act_delta"] == {"0": 2}
+    assert "ref_histogram_delta" in payload
+    assert "ledger_delta" in payload
+
+    junk = tmp_path / "junk.jsonl"
+    junk.write_text('{"t":"WR"}\n', encoding="utf-8")
+    assert main([str(junk), str(tmp_path / "a.jsonl")]) == 2
+    assert "diff error" in capsys.readouterr().err
+
+
+def test_diff_rejects_non_trace(tmp_path):
+    good = tmp_path / "a.jsonl"
+    _trace(good)
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("", encoding="utf-8")
+    with pytest.raises(ConfigError):
+        diff_traces(good, bad)

@@ -46,9 +46,29 @@ def test_cli_exit_zero_and_json(tmp_path, capsys):
     assert payload["per_bank_acts"].keys() == {"0", "1"}
 
 
-def test_cli_fails_without_summary(tmp_path, capsys):
+def test_cli_truncated_trace_distinct_exit_code(tmp_path, capsys):
     path = tmp_path / "trace.jsonl"
     _make_trace(path, finalize=False)
+    # A cut-off trace is its own failure mode: exit 3, not the ledger
+    # mismatch's exit 1, with an explicit diagnostic on stderr.
+    assert main([str(path)]) == 3
+    captured = capsys.readouterr()
+    assert "FAIL: trace truncated: no summary record" in captured.out
+    assert "trace truncated: no summary record" in captured.err
+    report = summarize(read_trace(path))
+    assert report.ledger_status == "truncated"
+    assert not report.ledger_ok
+
+
+def test_cli_ledger_mismatch_exit_one(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    host = _make_trace(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    summary = json.loads(lines[-1])
+    summary["ref_count"] += 1
+    lines[-1] = json.dumps(summary)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
     assert main([str(path)]) == 1
-    out = capsys.readouterr().out
-    assert "FAIL: trace has no summary record" in out
+    report = summarize(read_trace(path))
+    assert report.ledger_status == "mismatch"
+    assert host.ref_count == summary["ref_count"] - 1

@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.obs.__main__ import run_traced_inference
+from repro.obs.replay import replay_trace
 from repro.obs.report import render_report
 
 VENDOR_MODULES = ("A5", "B0", "C7")
@@ -31,6 +32,17 @@ def test_traced_inference_replays_to_ledger(module_id, tmp_path):
     assert report.replay["acts_per_bank"] == \
         host.ledger()["acts_per_bank"]
     assert report.replay["events"] > 0
+
+    # Round trip: re-execute the whole trace against a freshly built
+    # module (recovered from the header manifest alone) — every read's
+    # digest and the final ledger must match bit for bit.
+    replay = replay_trace(result["out"] / "trace.jsonl")
+    assert replay.executed
+    assert replay.divergences == []
+    assert replay.reads_verified > 0
+    assert replay.ledger_ok
+    assert replay.ledger == host.ledger()
+    assert replay.ok
 
     # The report renders cleanly end-to-end.
     text = render_report(report)

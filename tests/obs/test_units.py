@@ -57,6 +57,56 @@ def test_registry_counters_gauges_histograms():
     assert "scout.rows = 5" in metrics.render()
 
 
+def test_histogram_merge_exact():
+    left, right = Histogram(), Histogram()
+    for value in (1, 2, 9):
+        left.observe(value)
+    for value in (3, 16):
+        right.observe(value)
+    left.merge(right)
+    assert left.count == 5
+    assert left.min == 1 and left.max == 16
+    assert left.mean == 6.2
+    assert left.buckets == {1: 1, 2: 1, 4: 1, 16: 2}
+    # Merging the as_dict form (string bucket keys) is equivalent.
+    other = Histogram()
+    for value in (1, 2, 9):
+        other.observe(value)
+    dumped = Histogram()
+    for value in (3, 16):
+        dumped.observe(value)
+    other.merge(dumped.as_dict())
+    assert other.as_dict() == left.as_dict()
+    # Merging an empty histogram is a no-op.
+    before = left.as_dict()
+    left.merge(Histogram())
+    assert left.as_dict() == before
+
+
+def test_registry_merge_folds_all_families():
+    parent, child = MetricsRegistry(), MetricsRegistry()
+    parent.inc("host.acts", 10)
+    parent.set_gauge("scale", 1.0)
+    child.inc("host.acts", 5)
+    child.inc("host.refs", 2)
+    child.set_gauge("scale", 2.0)
+    child.observe("acts_per_ref", 8)
+    parent.merge(child)
+    assert parent.counter("host.acts") == 15
+    assert parent.counter("host.refs") == 2
+    assert parent.gauge("scale") == 2.0  # last writer wins
+    assert parent.histogram("acts_per_ref").count == 1
+    # Merging the dict dump gives the same totals.
+    dumped = MetricsRegistry()
+    dumped.inc("host.acts", 10)
+    dumped.set_gauge("scale", 1.0)
+    dumped.merge(child.as_dict())
+    assert dumped.as_dict() == parent.as_dict()
+    # Disabled registries fold as nothing.
+    parent.merge(NullMetrics())
+    assert parent.counter("host.acts") == 15
+
+
 def test_null_metrics_is_inert():
     metrics = NullMetrics()
     metrics.inc("x")

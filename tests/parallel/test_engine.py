@@ -12,8 +12,9 @@ import os
 import pytest
 
 from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, NullMetrics
 from repro.parallel import (WorkUnit, default_workers, parallel_map,
-                            run_units, unit_seed)
+                            run_units, unit_observability, unit_seed)
 
 _FLAKY_SENTINEL = "/tmp/repro-parallel-flaky-{unit}.marker"
 
@@ -47,6 +48,15 @@ def flaky_raises_once(value: int, marker: str) -> int:
         with open(marker, "w") as handle:
             handle.write("raised once")
         raise RuntimeError("transient")
+    return value * value
+
+
+def metered_square(value: int) -> int:
+    """Records into the ambient per-unit registry, like eval units do."""
+    obs = unit_observability()
+    obs.metrics.inc("unit.calls")
+    obs.metrics.inc("unit.total", value)
+    obs.metrics.observe("unit.value", value)
     return value * value
 
 
@@ -153,6 +163,44 @@ def test_worker_crash_quarantines_after_max_attempts():
     assert [o.unit_id for o in run.quarantined] == ["hopeless"]
     assert run.quarantined[0].attempts == 2
     assert "BrokenProcessPool" in run.quarantined[0].error
+
+
+def test_metrics_fold_is_worker_count_independent():
+    values = [2, 3, 5]
+    sequential = MetricsRegistry()
+    pooled = MetricsRegistry()
+    run_a = run_units(_units(metered_square, values, "met"),
+                      workers=1, metrics=sequential)
+    run_b = run_units(_units(metered_square, values, "met"),
+                      workers=2, metrics=pooled)
+    assert run_a.values == run_b.values == [4, 9, 25]
+    assert sequential.as_dict() == pooled.as_dict()
+    assert pooled.counter("unit.calls") == 3
+    assert pooled.counter("unit.total") == 10
+    assert pooled.histogram("unit.value").count == 3
+
+
+def test_pool_outcomes_carry_unit_metrics():
+    run = run_units(_units(metered_square, [4], "met"), workers=2)
+    assert run.outcomes[0].metrics["counters"]["unit.calls"] == 1
+    # Inline units write straight into the caller's registry instead.
+    inline = run_units(_units(metered_square, [4], "met"), workers=1,
+                       metrics=MetricsRegistry())
+    assert inline.outcomes[0].metrics is None
+
+
+def test_units_without_metrics_see_null_obs():
+    # No registry passed: unit_observability() is the inert bundle and
+    # results are unaffected.
+    run = run_units(_units(metered_square, [6], "met"), workers=1)
+    assert run.values == [36]
+    assert unit_observability().metrics.enabled is False
+
+
+def test_disabled_registry_is_ignored():
+    run = run_units(_units(metered_square, [2], "met"), workers=2,
+                    metrics=NullMetrics())
+    assert run.values == [4]
 
 
 def test_parallel_map_wraps_calls():
