@@ -31,6 +31,7 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
 import time
 
 try:
@@ -46,7 +47,10 @@ from repro.dram.bank import Bank
 from repro.dram.refresh import RefreshEngine
 from repro.eval import get_scale, run_fig8_many, run_fig9, run_fig10
 from repro.eval.fig8 import SWEEPS
-from repro.obs import build_manifest
+from repro.obs import (CollapsedStackSampler, CommandProfiler,
+                       RunHistory, TelemetryConfig, build_manifest,
+                       profile_report)
+from repro.obs.live import pool_breakdown, read_spool
 from repro.parallel import default_workers
 from repro.rng import SeedSequenceFactory
 
@@ -280,31 +284,72 @@ def _timed(fn) -> tuple[float, object]:
 
 
 def bench_figures(modules: list[str], scale, workers: int) -> dict:
-    """Wall-clock per figure, sequential vs the parallel engine."""
+    """Wall-clock per figure, sequential vs the parallel engine.
+
+    The parallel pass runs with a throwaway telemetry spool
+    (heartbeats off) purely to harvest per-unit wall-clocks; the
+    resulting straggler / pool-overhead breakdown is what explains a
+    sub-1x ``parallel_speedup`` — e.g. one module dominating the
+    critical path while pool spawn + pickling add fixed cost.
+    """
     fig8_modules = [m for m in modules if m in SWEEPS] or ["A5"]
     runs = {
         "fig8": (fig8_modules,
-                 lambda w: run_fig8_many(fig8_modules, scale, workers=w)),
+                 lambda w, t: run_fig8_many(fig8_modules, scale,
+                                            workers=w, telemetry=t)),
         "fig9": (modules,
-                 lambda w: run_fig9(modules, scale, workers=w)),
+                 lambda w, t: run_fig9(modules, scale, workers=w,
+                                       telemetry=t)),
         "fig10": (modules,
-                  lambda w: run_fig10(modules, scale, workers=w)),
+                  lambda w, t: run_fig10(modules, scale, workers=w,
+                                         telemetry=t)),
     }
     figures = {}
     for name, (ids, run) in runs.items():
-        sequential, _ = _timed(lambda: run(1))
-        parallel, _ = _timed(lambda: run(workers))
+        sequential, _ = _timed(lambda: run(1, None))
+        with tempfile.TemporaryDirectory() as spool:
+            telemetry = TelemetryConfig(spool=spool,
+                                        run_id=f"bench.{name}",
+                                        heartbeats=False)
+            parallel, _ = _timed(lambda: run(workers, telemetry))
+            breakdown = pool_breakdown(read_spool(spool),
+                                       pool_wall_s=parallel)
         figures[name] = {
             "modules": list(ids),
             "sequential_seconds": round(sequential, 3),
             "parallel_seconds": round(parallel, 3),
             "parallel_speedup": round(sequential / parallel, 3),
+            "parallel_breakdown": breakdown,
         }
     return figures
 
 
-def run_benchmarks(modules: list[str], scale_name: str,
-                   workers: int) -> dict:
+def bench_profile(modules: list[str], scale,
+                  stacks_path: pathlib.Path | None = None) -> dict:
+    """Per-opcode command-bus attribution for one sequential fig9 run.
+
+    Runs with a :class:`CommandProfiler` on the host hot path and a
+    collapsed-stack sampler on the driving thread; the report carries
+    the opcode table plus ``coverage`` — the fraction of the measured
+    wall the opcode rows explain (the rest is Python-side work the
+    sampler's flamegraph localizes).
+    """
+    profiler = CommandProfiler()
+    sampler = CollapsedStackSampler(interval_s=0.01)
+    with sampler:
+        wall, _ = _timed(lambda: run_fig9(modules, scale, workers=1,
+                                          profiler=profiler))
+    report = profile_report(profiler, wall_s=wall)
+    report["stack_samples"] = sampler.total_samples
+    if stacks_path is not None:
+        sampler.write(stacks_path)
+        report["stacks_file"] = str(stacks_path)
+    return report
+
+
+def run_benchmarks(modules: list[str], scale_name: str, workers: int,
+                   profile: bool = False,
+                   stacks_path: pathlib.Path | None = None) -> dict:
     scale = get_scale(scale_name)
     print(f"[bench] settle microbenchmark "
           f"(vectorized vs legacy loop) ...", flush=True)
@@ -320,7 +365,7 @@ def run_benchmarks(modules: list[str], scale_name: str,
               f"sequential, {numbers['parallel_seconds']:.1f}s with "
               f"{workers} workers", flush=True)
     fig9 = figures["fig9"]
-    return {
+    results = {
         "schema": 1,
         "scale": scale_name,
         "modules": list(modules),
@@ -336,6 +381,17 @@ def run_benchmarks(modules: list[str], scale_name: str,
         "manifest": build_manifest(include_time=False,
                                    benchmark="bench_eval"),
     }
+    if profile:
+        print("[bench] command-bus profile (sequential fig9) ...",
+              flush=True)
+        results["profile"] = bench_profile(modules, scale,
+                                           stacks_path=stacks_path)
+        coverage = results["profile"].get("coverage")
+        print(f"[bench]   {results['profile']['commands']} commands, "
+              f"{results['profile']['total_s']:.2f}s on the command "
+              f"bus" + (f" ({coverage:.0%} of wall)"
+                        if coverage is not None else ""), flush=True)
+    return results
 
 
 # -- regression gate -------------------------------------------------------
@@ -378,10 +434,29 @@ def report_parallel(results_path: pathlib.Path) -> int:
         print(f"[bench]   {name}: {figure['parallel_speedup']:.2f}x "
               f"({figure['sequential_seconds']:.1f}s -> "
               f"{figure['parallel_seconds']:.1f}s)")
+        breakdown = figure.get("parallel_breakdown") or {}
+        stragglers = breakdown.get("stragglers")
+        if not stragglers:
+            continue
+        # A speedup below 1x decomposes into its two causes: the
+        # critical path (slowest unit) and pool overhead (spawn,
+        # pickling, merge) on top of it.
+        worst = ", ".join(f"{s['unit']}={s['wall_s']:.1f}s"
+                          for s in stragglers)
+        print(f"[bench]     stragglers: {worst}")
+        print(f"[bench]     critical path {breakdown['max_unit_s']:.1f}s"
+              f" of {breakdown['sum_unit_s']:.1f}s total unit work; "
+              f"pool overhead "
+              f"{breakdown.get('overhead_s', 0.0):.1f}s")
     eval_rates = results.get("eval", {})
     print(f"[bench]   eval modules/sec: "
           f"{eval_rates.get('modules_per_sec_sequential')} sequential, "
           f"{eval_rates.get('modules_per_sec_parallel')} parallel")
+    profile = results.get("profile")
+    if profile:
+        print(f"[bench]   command bus: {profile.get('commands')} "
+              f"commands, {profile.get('total_s')}s "
+              f"(coverage {profile.get('coverage')})")
     return 0
 
 
@@ -404,16 +479,43 @@ def main(argv=None) -> int:
                         default=None, metavar="RESULTS",
                         help="print parallel speedups from an existing "
                              "results file and exit")
+    parser.add_argument("--profile", action="store_true",
+                        help="additionally record per-opcode command-bus "
+                             "attribution and a collapsed-stack profile "
+                             "for a sequential fig9 run")
+    parser.add_argument("--history", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="append the profiled run (wall + per-opcode "
+                             "seconds) to a run-history store so stage "
+                             "regressions gate across runs")
     args = parser.parse_args(argv)
 
     if args.report_parallel is not None:
         return report_parallel(args.report_parallel)
 
     modules = [m.strip() for m in args.modules.split(",") if m.strip()]
-    results = run_benchmarks(modules, args.scale, max(args.workers, 1))
+    stacks_path = (args.out.with_suffix(".stacks.txt")
+                   if args.profile else None)
+    results = run_benchmarks(modules, args.scale, max(args.workers, 1),
+                             profile=args.profile,
+                             stacks_path=stacks_path)
     args.out.write_text(json.dumps(results, indent=2, sort_keys=True)
                         + "\n")
     print(f"[bench] wrote {args.out}")
+    if stacks_path is not None:
+        print(f"[bench] wrote {stacks_path} (collapsed stacks — feed "
+              f"to flamegraph.pl / speedscope)")
+
+    if args.history is not None and args.profile:
+        profile = results.get("profile", {})
+        RunHistory(args.history).record(
+            "bench.profile",
+            manifest=results["manifest"],
+            wall_s=profile.get("wall_s"),
+            profile=profile.get("seconds"),
+            extra={"commands": profile.get("commands"),
+                   "coverage": profile.get("coverage")})
+        print(f"[bench] recorded profile history row in {args.history}")
 
     if args.check is not None:
         failures = check_regression(results, args.check, args.tolerance)

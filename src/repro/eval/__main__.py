@@ -13,11 +13,22 @@ worker count.
 
 Rendered artifacts go to **stdout** and are deterministic for a given
 artifact/scale/module selection; progress and timing go to **stderr**
-as structured ``key=value`` lines (suppressed entirely by ``--quiet``).
+as structured ``key=value`` lines (suppressed entirely by ``--quiet``),
+each stamped with a monotonic ``elapsed_ms`` so long sweeps show
+per-event latency in place.
 
 ``--history PATH`` appends one row per run (manifest, flattened
-metrics, span wall-clocks) to an append-only run-history store; gate it
+metrics, span wall-clocks, and — with ``--profile`` — per-opcode
+command-bus attribution) to an append-only run-history store; gate it
 across runs with ``python -m repro.obs.history PATH --gate``.
+
+``--telemetry DIR`` publishes live progress into a spool directory
+readable mid-run by ``python -m repro.obs.serve DIR`` (curl
+``/metrics``, ``/progress``, ``/spans``); ``--stall-deadline S`` arms
+the watchdog that flags units whose command counters stop advancing.
+``--profile`` attributes host wall time per DDR opcode and prints the
+attribution table to stderr.  All three are side channels: artifact
+bytes on stdout are unaffected.
 """
 
 from __future__ import annotations
@@ -26,7 +37,8 @@ import argparse
 import sys
 import time
 
-from ..obs import (MetricsRegistry, RunHistory, SpanTracker, StructuredLog,
+from ..obs import (CommandProfiler, MetricsRegistry, RunHistory,
+                   SpanTracker, StructuredLog, TelemetryConfig,
                    build_manifest)
 from ..parallel import default_workers
 from ..vendors import all_modules
@@ -65,27 +77,54 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--history", default=None, metavar="PATH",
                         help="append this run (manifest, metrics, span "
                              "wall-clocks) to a run-history store")
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="publish live progress events into this "
+                             "spool directory (serve it with python -m "
+                             "repro.obs.serve DIR)")
+    parser.add_argument("--telemetry-interval", type=float, default=1.0,
+                        metavar="S", help="heartbeat period in seconds "
+                                          "(default 1.0)")
+    parser.add_argument("--stall-deadline", type=float, default=None,
+                        metavar="S",
+                        help="flag units whose command counters do not "
+                             "advance within S seconds (requires "
+                             "--telemetry)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute host wall time per DDR opcode; "
+                             "table goes to stderr, totals to --history")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
     workers = args.workers
-    log = StructuredLog(enabled=not args.quiet)
+    log = StructuredLog(enabled=not args.quiet, elapsed=True)
     metrics = MetricsRegistry()
     spans = SpanTracker()
+    profiler = CommandProfiler(spans=spans) if args.profile else None
+    telemetry = None
+    if args.telemetry:
+        telemetry = TelemetryConfig(
+            spool=args.telemetry, run_id=f"eval.{args.artifact}",
+            interval_s=args.telemetry_interval,
+            stall_deadline_s=args.stall_deadline)
+        log.info("telemetry-enabled", spool=args.telemetry,
+                 interval_s=args.telemetry_interval,
+                 stall_deadline_s=args.stall_deadline or "off")
+    elif args.stall_deadline is not None:
+        parser.error("--stall-deadline requires --telemetry")
     manifest = build_manifest(scale=scale.name, artifact=args.artifact,
                               include_time=False)
     log.info("run-start", artifact=args.artifact, scale=scale.name,
              modules=args.modules or "default", workers=workers,
              git=manifest["git"])
 
+    engine = dict(workers=workers, log=log, metrics=metrics,
+                  telemetry=telemetry, profiler=profiler)
     started = time.time()
     with spans.span(args.artifact, scale=scale.name, workers=workers):
         if args.artifact == "resilience":
             from .resilience import RESILIENCE_MODULES, run_resilience
             result = run_resilience(_module_ids(args.modules,
                                                 RESILIENCE_MODULES),
-                                    fault_profile=args.faults,
-                                    workers=workers, log=log,
-                                    metrics=metrics)
+                                    fault_profile=args.faults, **engine)
             print(result.render())
         elif args.artifact == "survey":
             from .survey import run_survey
@@ -95,39 +134,40 @@ def main(argv: list[str] | None = None) -> int:
         elif args.artifact == "table1":
             result = run_table1(_module_ids(args.modules,
                                             TABLE1_REPRESENTATIVES), scale,
-                                workers=workers, log=log, metrics=metrics)
+                                **engine)
             print(result.render())
         elif args.artifact == "fig8":
             module_ids = _module_ids(args.modules, tuple(SWEEPS))
-            for result in run_fig8_many(module_ids, scale,
-                                        workers=workers, log=log,
-                                        metrics=metrics):
+            for result in run_fig8_many(module_ids, scale, **engine):
                 print(result.render())
                 print()
         elif args.artifact == "fig9":
             result = run_fig9(_module_ids(args.modules,
                                           REPRESENTATIVE_MODULES), scale,
-                              workers=workers, log=log, metrics=metrics)
+                              **engine)
             print(result.render())
         elif args.artifact == "fig10":
             result = run_fig10(_module_ids(args.modules,
                                            REPRESENTATIVE_MODULES), scale,
-                               workers=workers, log=log, metrics=metrics)
+                               **engine)
             print(result.render())
         else:
-            results = run_ablations(scale, workers=workers, log=log,
-                                    metrics=metrics)
+            results = run_ablations(scale, **engine)
             print("\n\n".join(result.render() for result in results))
-    wall = round(time.time() - started, 1)
+    wall = time.time() - started
     log.info("run-done", artifact=args.artifact, scale=scale.name,
-             workers=workers, seconds=wall)
+             workers=workers, seconds=round(wall, 1))
+    if profiler is not None and not args.quiet:
+        sys.stderr.write("command-bus profile:\n"
+                         + profiler.render(wall_s=wall) + "\n")
     if args.history:
         row_manifest = build_manifest(
             scale=scale.name, artifact=args.artifact,
             modules=args.modules or "default", workers=workers)
         RunHistory(args.history).record(
             f"eval.{args.artifact}", manifest=row_manifest,
-            metrics=metrics, spans=spans, wall_s=time.time() - started)
+            metrics=metrics, spans=spans, wall_s=wall,
+            profile=profiler)
         log.info("history-recorded", store=args.history,
                  kind=f"eval.{args.artifact}")
     return 0

@@ -164,7 +164,8 @@ ABLATIONS = (
 
 
 def run_ablations(scale: EvalScale = STANDARD, workers: int = 1,
-                  log=None, metrics=None) -> list[AblationResult]:
+                  log=None, metrics=None, telemetry=None,
+                  profiler=None) -> list[AblationResult]:
     """All four ablation studies, sharded over *workers* processes.
 
     Results come back in AB1..AB4 order; ``workers=1`` runs each study
@@ -174,4 +175,5 @@ def run_ablations(scale: EvalScale = STANDARD, workers: int = 1,
                       meta={"ablation": name, "scale": scale.name,
                             "artifact": "ablations"})
              for name, fn in ABLATIONS]
-    return run_units(units, workers, log=log, metrics=metrics).values
+    return run_units(units, workers, log=log, metrics=metrics,
+                     telemetry=telemetry, profiler=profiler).values

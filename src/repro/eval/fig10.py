@@ -63,15 +63,19 @@ def run_fig10(module_ids: list[str] | None = None,
               scale: EvalScale = STANDARD,
               evaluations: list[ModuleEvaluation] | None = None,
               positions: int | None = None, workers: int = 1,
-              log=None, metrics=None) -> Fig10Result:
+              log=None, metrics=None, telemetry=None,
+              profiler=None) -> Fig10Result:
     """Reuses Figure 9 evaluations when given (same underlying sweep)."""
     if evaluations is None:
-        if workers > 1 or metrics is not None:
+        if (workers > 1 or metrics is not None or telemetry is not None
+                or profiler is not None):
             ids = (list(module_ids) if module_ids
                    else [spec.module_id for spec in all_modules()])
             evaluations = evaluate_modules(ids, scale, positions,
                                            workers=workers, log=log,
-                                           metrics=metrics)
+                                           metrics=metrics,
+                                           telemetry=telemetry,
+                                           profiler=profiler)
         else:
             specs = ([get_module(module_id) for module_id in module_ids]
                      if module_ids else all_modules())

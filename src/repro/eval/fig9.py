@@ -44,13 +44,15 @@ class Fig9Result:
 def run_fig9(module_ids: list[str] | None = None,
              scale: EvalScale = STANDARD,
              positions: int | None = None, workers: int = 1,
-             log=None, metrics=None) -> Fig9Result:
-    if workers > 1 or metrics is not None:
+             log=None, metrics=None, telemetry=None,
+             profiler=None) -> Fig9Result:
+    if (workers > 1 or metrics is not None or telemetry is not None
+            or profiler is not None):
         ids = (list(module_ids) if module_ids
                else [spec.module_id for spec in all_modules()])
         return Fig9Result(evaluations=evaluate_modules(
             ids, scale, positions, workers=workers, log=log,
-            metrics=metrics))
+            metrics=metrics, telemetry=telemetry, profiler=profiler))
     specs = ([get_module(module_id) for module_id in module_ids]
              if module_ids else all_modules())
     evaluations = [evaluate_module(spec, scale, positions)

@@ -137,6 +137,11 @@ class ResilienceReport:
     #: quarantined after exhausting retries (empty on healthy runs, so
     #: sequential and parallel reports stay byte-identical).
     quarantined: list[tuple[str, str]] = field(default_factory=list)
+    #: ``(module_id, description)`` pairs for chaos runs the telemetry
+    #: watchdog flagged as stalled mid-run.  Only ever populated when a
+    #: stall deadline is armed (``telemetry.stall_deadline_s``), so
+    #: default runs stay byte-identical for any worker count.
+    stalled: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def all_recovered(self) -> bool:
@@ -171,6 +176,10 @@ class ResilienceReport:
         if self.quarantined:
             lines = [f"QUARANTINED {module_id}: {error}"
                      for module_id, error in self.quarantined]
+            rendered = "\n".join([rendered, *lines])
+        if self.stalled:
+            lines = [f"STALLED {module_id}: {description}"
+                     for module_id, description in self.stalled]
             rendered = "\n".join([rendered, *lines])
         return rendered
 
@@ -211,17 +220,21 @@ def run_module_resilience(module_id: str, fault_profile: str = "default",
 def run_resilience(module_ids=None, fault_profile: str = "default",
                    seed: int = 0,
                    config: InferenceConfig | None = None,
-                   workers: int = 1, log=None,
-                   metrics=None) -> ResilienceReport:
+                   workers: int = 1, log=None, metrics=None,
+                   telemetry=None, profiler=None) -> ResilienceReport:
     """Chaos runs over one representative module per vendor.
 
     With ``workers > 1`` the chaos runs shard over a process pool; a
     module whose worker keeps crashing is *quarantined* — reported by
     name instead of sinking the whole fleet, the same isolate-and-name
-    semantics the hardened Row Scout applies to misbehaving rows.
+    semantics the hardened Row Scout applies to misbehaving rows.  A
+    *telemetry* config with a stall deadline additionally arms the
+    watchdog: chaos runs whose command counters stop advancing are
+    named in the report as STALLED with their last open span.
     """
     ids = list(module_ids or RESILIENCE_MODULES)
-    if workers > 1 or metrics is not None:
+    if (workers > 1 or metrics is not None or telemetry is not None
+            or profiler is not None):
         units = [WorkUnit(unit_id=f"resilience/{module_id}",
                           fn=run_module_resilience,
                           args=(module_id, fault_profile, seed, config),
@@ -230,12 +243,16 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
                                 "seed": seed, "artifact": "resilience"})
                  for module_id in ids]
         run = run_units(units, workers, quarantine=True, log=log,
-                        metrics=metrics)
+                        metrics=metrics, telemetry=telemetry,
+                        profiler=profiler)
         return ResilienceReport(
             modules=run.values,
             quarantined=[(outcome.unit_id.removeprefix("resilience/"),
                           outcome.error or "unknown")
-                         for outcome in run.quarantined])
+                         for outcome in run.quarantined],
+            stalled=[(stall.unit_id.removeprefix("resilience/"),
+                      stall.describe())
+                     for stall in run.stalled])
     return ResilienceReport(modules=[
         run_module_resilience(module_id, fault_profile, seed, config)
         for module_id in ids])

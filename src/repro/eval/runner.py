@@ -167,20 +167,26 @@ def evaluate_module_unit(module_id: str, scale: EvalScale,
 
 def evaluate_modules(module_ids, scale: EvalScale,
                      positions: int | None = None, workers: int = 1,
-                     log=None, metrics=None) -> list[ModuleEvaluation]:
+                     log=None, metrics=None, telemetry=None,
+                     profiler=None) -> list[ModuleEvaluation]:
     """Evaluate many modules, sharded over *workers* processes.
 
     Results come back in *module_ids* order whatever the scheduling;
     ``workers=1`` runs each evaluation inline on the sequential path.
     *metrics* receives every unit's host metrics (identical totals for
-    any worker count).
+    any worker count); *telemetry* (a
+    :class:`~repro.obs.TelemetryConfig`) publishes live progress into
+    its spool, and *profiler* (a :class:`~repro.obs.CommandProfiler`)
+    collects the folded per-opcode command-bus attribution — both are
+    side channels that leave the artifacts byte-identical.
     """
     units = [WorkUnit(unit_id=f"eval/{module_id}",
                       fn=evaluate_module_unit,
                       args=(module_id, scale, positions),
                       meta={"module": module_id, "scale": scale.name})
              for module_id in module_ids]
-    return run_units(units, workers, log=log, metrics=metrics).values
+    return run_units(units, workers, log=log, metrics=metrics,
+                     telemetry=telemetry, profiler=profiler).values
 
 
 def evaluate_baseline(spec: ModuleSpec, scale: EvalScale,

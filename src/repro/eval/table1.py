@@ -129,15 +129,19 @@ TABLE1_REPRESENTATIVES = ("A0", "A13", "B0", "B9", "B13",
 
 
 def run_table1(module_ids=None, scale: EvalScale = STANDARD,
-               workers: int = 1, log=None, metrics=None) -> Table1Result:
+               workers: int = 1, log=None, metrics=None,
+               telemetry=None, profiler=None) -> Table1Result:
     ids = list(module_ids or TABLE1_REPRESENTATIVES)
-    if workers > 1 or metrics is not None:
+    if (workers > 1 or metrics is not None or telemetry is not None
+            or profiler is not None):
         units = [WorkUnit(unit_id=f"table1/{module_id}",
                           fn=run_table1_module, args=(module_id, scale),
                           meta={"module": module_id, "scale": scale.name,
                                 "artifact": "table1"})
                  for module_id in ids]
         return Table1Result(rows=run_units(units, workers, log=log,
-                                           metrics=metrics).values)
+                                           metrics=metrics,
+                                           telemetry=telemetry,
+                                           profiler=profiler).values)
     return Table1Result(rows=[run_table1_module(module_id, scale)
                               for module_id in ids])

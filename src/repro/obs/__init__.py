@@ -40,6 +40,8 @@ import importlib
 
 from .manifest import MANIFEST_SCHEMA, build_manifest, git_describe
 from .metrics import Histogram, MetricsRegistry, NullMetrics, bucket_bound
+from .profile import (CollapsedStackSampler, CommandProfiler,
+                      NullProfiler, profile_report)
 from .recorder import (TRACE_VERSION, NullRecorder, TraceRecorder,
                        data_digest, mismatch_digest, read_trace,
                        replay_ledger)
@@ -52,12 +54,28 @@ from .structlog import StructuredLog
 _LAZY_EXPORTS = {
     "TraceDiff": ".diff",
     "diff_traces": ".diff",
+    "PROMETHEUS_CONTENT_TYPE": ".export",
+    "parse_prometheus": ".export",
+    "render_prometheus": ".export",
     "HISTORY_SCHEMA": ".history",
     "Regression": ".history",
     "RunHistory": ".history",
     "flatten_metrics": ".history",
     "gate": ".history",
     "span_wallclocks": ".history",
+    "Heartbeat": ".live",
+    "NullTelemetrySink": ".live",
+    "StalledUnit": ".live",
+    "TelemetryConfig": ".live",
+    "TelemetrySink": ".live",
+    "TraceContext": ".live",
+    "Watchdog": ".live",
+    "aggregate_metrics": ".live",
+    "assemble_timeline": ".live",
+    "pool_breakdown": ".live",
+    "progress": ".live",
+    "read_spool": ".live",
+    "render_progress": ".live",
     "ReplayResult": ".replay",
     "host_from_manifest": ".replay",
     "replay_trace": ".replay",
@@ -85,16 +103,20 @@ class Observability:
     """
 
     def __init__(self, recorder=None, metrics=None, spans=None,
-                 manifest: dict | None = None) -> None:
+                 manifest: dict | None = None, profiler=None) -> None:
         self.recorder = recorder if recorder is not None else NullRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans = spans if spans is not None else SpanTracker()
+        #: Command-bus profiler (opt-in: defaults to the null profiler
+        #: so the host hot path keeps its single identity check).
+        self.profiler = profiler if profiler is not None \
+            else NullProfiler()
         self.manifest = manifest
 
     @property
     def enabled(self) -> bool:
         return (self.recorder.enabled or self.metrics.enabled
-                or self.spans.enabled)
+                or self.spans.enabled or self.profiler.enabled)
 
     def span(self, name: str, **attrs):
         return self.spans.span(name, **attrs)
@@ -129,35 +151,56 @@ class Observability:
 #: Shared all-disabled bundle: the default for every instrumented
 #: component.  Never used for a host hot path (hosts gate on ``enabled``).
 NULL_OBS = Observability(recorder=NullRecorder(), metrics=NullMetrics(),
-                         spans=NullSpans())
+                         spans=NullSpans(), profiler=NullProfiler())
 
 
 def traced(path, *, manifest: dict | None = None,
-           flush_every: int = 1024) -> Observability:
-    """Convenience: a fully-enabled bundle recording to *path*."""
+           flush_every: int = 1024,
+           profile: bool = False) -> Observability:
+    """Convenience: a fully-enabled bundle recording to *path*.
+
+    ``profile=True`` additionally attaches a :class:`CommandProfiler`
+    (per-opcode wall-time attribution on the host hot path).
+    """
+    spans = SpanTracker()
+    profiler = CommandProfiler(spans=spans) if profile else None
     return Observability(
         recorder=TraceRecorder(path, meta=manifest, flush_every=flush_every),
-        metrics=MetricsRegistry(), spans=SpanTracker(), manifest=manifest)
+        metrics=MetricsRegistry(), spans=spans, manifest=manifest,
+        profiler=profiler)
 
 
 __all__ = [
+    "CollapsedStackSampler",
+    "CommandProfiler",
     "HISTORY_SCHEMA",
+    "Heartbeat",
     "MANIFEST_SCHEMA",
+    "PROMETHEUS_CONTENT_TYPE",
     "TRACE_VERSION",
     "Histogram",
     "MetricsRegistry",
     "NullMetrics",
+    "NullProfiler",
     "NullRecorder",
     "NullSpans",
+    "NullTelemetrySink",
     "NULL_OBS",
     "Observability",
     "Regression",
     "ReplayResult",
     "RunHistory",
     "SpanTracker",
+    "StalledUnit",
     "StructuredLog",
+    "TelemetryConfig",
+    "TelemetrySink",
+    "TraceContext",
     "TraceDiff",
     "TraceRecorder",
+    "Watchdog",
+    "aggregate_metrics",
+    "assemble_timeline",
     "bucket_bound",
     "build_manifest",
     "data_digest",
@@ -167,7 +210,14 @@ __all__ = [
     "git_describe",
     "host_from_manifest",
     "mismatch_digest",
+    "parse_prometheus",
+    "pool_breakdown",
+    "profile_report",
+    "progress",
+    "read_spool",
     "read_trace",
+    "render_progress",
+    "render_prometheus",
     "replay_ledger",
     "replay_trace",
     "span_wallclocks",

@@ -1,0 +1,181 @@
+"""Metric exporters: Prometheus text format and merged event streams.
+
+A :class:`~repro.obs.MetricsRegistry` is the pipeline's quantitative
+memory; this module renders one in the two formats the outside world
+speaks:
+
+- :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4), served by ``python -m repro.obs.serve`` at
+  ``/metrics`` and scrapeable mid-sweep.
+- :func:`parse_prometheus` — the exact inverse, used by the round-trip
+  tests and by anything that wants to fold a scrape back into
+  ``as_dict`` shape.
+
+Metric names in this repo are dotted (``host.acts``); Prometheus names
+cannot contain dots, so every registry entry is exported as one of
+three family metrics (``<ns>_counter``, ``<ns>_gauge``,
+``<ns>_histogram``) with the original dotted name carried in a
+``name`` label.  That keeps the mapping lossless: counters, gauges,
+and full histograms (count, sum, min, max, power-of-two buckets)
+round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SAMPLE = re.compile(
+    r'^(?P<metric>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>\S+)$')
+_LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def _number(value: float) -> str:
+    """Shortest exact text for a sample value (ints stay integral)."""
+    if isinstance(value, bool):  # pragma: no cover — defensive
+        return str(int(value))
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(metrics, namespace: str = "repro") -> str:
+    """Render a registry (or its ``as_dict`` dump) as Prometheus text.
+
+    Histograms emit cumulative ``_bucket{le=...}`` samples (the repo's
+    power-of-two bounds, plus ``+Inf``), ``_sum`` and ``_count``, and
+    ``_min`` / ``_max`` gauges so the full :class:`Histogram` state
+    survives a scrape.
+    """
+    if hasattr(metrics, "as_dict"):
+        metrics = metrics.as_dict()
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    lines: list[str] = []
+
+    def label(name: str) -> str:
+        return '{name="' + _escape(name) + '"}'
+
+    if counters:
+        lines.append(f"# HELP {namespace}_counter Monotonic event "
+                     "counters from one MetricsRegistry.")
+        lines.append(f"# TYPE {namespace}_counter counter")
+        for name, value in sorted(counters.items()):
+            lines.append(f"{namespace}_counter{label(name)} "
+                         f"{_number(value)}")
+    if gauges:
+        lines.append(f"# HELP {namespace}_gauge Last-written gauge "
+                     "values from one MetricsRegistry.")
+        lines.append(f"# TYPE {namespace}_gauge gauge")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"{namespace}_gauge{label(name)} "
+                         f"{_number(value)}")
+    if histograms:
+        lines.append(f"# HELP {namespace}_histogram Power-of-two "
+                     "bucketed distributions from one MetricsRegistry.")
+        lines.append(f"# TYPE {namespace}_histogram histogram")
+        for name, dump in sorted(histograms.items()):
+            escaped = _escape(name)
+            cumulative = 0
+            for bound, count in sorted(
+                    (int(b), c) for b, c in dump.get("buckets",
+                                                     {}).items()):
+                cumulative += count
+                lines.append(
+                    f'{namespace}_histogram_bucket{{name="{escaped}",'
+                    f'le="{bound}"}} {cumulative}')
+            lines.append(
+                f'{namespace}_histogram_bucket{{name="{escaped}",'
+                f'le="+Inf"}} {dump.get("count", 0)}')
+            lines.append(f"{namespace}_histogram_sum{label(name)} "
+                         f"{_number(dump.get('total', 0.0))}")
+            lines.append(f"{namespace}_histogram_count{label(name)} "
+                         f"{_number(dump.get('count', 0))}")
+            if dump.get("min") is not None:
+                lines.append(f"{namespace}_histogram_min{label(name)} "
+                             f"{_number(dump['min'])}")
+            if dump.get("max") is not None:
+                lines.append(f"{namespace}_histogram_max{label(name)} "
+                             f"{_number(dump['max'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_number(text: str) -> float | int:
+    value = float(text)
+    if value.is_integer() and "e" not in text.lower() \
+            and "." not in text:
+        return int(text)
+    return value
+
+
+def parse_prometheus(text: str, namespace: str = "repro") -> dict:
+    """Parse :func:`render_prometheus` output back into ``as_dict``
+    shape (counters / gauges / histograms with non-cumulative
+    power-of-two buckets)."""
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+
+    def histogram(name: str) -> dict:
+        return histograms.setdefault(
+            name, {"count": 0, "total": 0.0, "min": None, "max": None,
+                   "buckets": {}})
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable Prometheus sample: {line!r}")
+        metric = match.group("metric")
+        labels = {key: _unescape(value) for key, value
+                  in _LABEL.findall(match.group("labels") or "")}
+        name = labels.get("name", "")
+        value = _parse_number(match.group("value"))
+        if metric == f"{namespace}_counter":
+            counters[name] = int(value)
+        elif metric == f"{namespace}_gauge":
+            gauges[name] = value
+        elif metric == f"{namespace}_histogram_bucket":
+            if labels.get("le") != "+Inf":
+                histogram(name)["buckets"][labels["le"]] = int(value)
+        elif metric == f"{namespace}_histogram_sum":
+            histogram(name)["total"] = value
+        elif metric == f"{namespace}_histogram_count":
+            histogram(name)["count"] = int(value)
+        elif metric == f"{namespace}_histogram_min":
+            histogram(name)["min"] = value
+        elif metric == f"{namespace}_histogram_max":
+            histogram(name)["max"] = value
+        else:
+            raise ValueError(f"unknown metric family: {metric!r}")
+    for dump in histograms.values():
+        cumulative = sorted((int(bound), count) for bound, count
+                            in dump["buckets"].items())
+        previous = 0
+        buckets: dict[str, int] = {}
+        for bound, count in cumulative:
+            if count - previous:
+                buckets[str(bound)] = count - previous
+            previous = count
+        dump["buckets"] = buckets
+        count = dump["count"]
+        dump["mean"] = round(dump["total"] / count, 3) if count else 0.0
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}

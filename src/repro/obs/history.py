@@ -88,8 +88,16 @@ class RunHistory:
 
     def record(self, kind: str, *, manifest: dict | None = None,
                metrics=None, spans=None, wall_s: float | None = None,
-               extra: dict | None = None) -> dict:
-        """Append one run row; returns the row as written."""
+               profile=None, extra: dict | None = None) -> dict:
+        """Append one run row; returns the row as written.
+
+        *profile*, when given, is a
+        :class:`~repro.obs.CommandProfiler` (or a plain
+        ``{name: seconds}`` dict): per-opcode wall-time attribution
+        recorded alongside the spans and gated by the same
+        slowdown-only rule, so a stage-level command-bus regression
+        fails the gate like a wall-clock one.
+        """
         row: dict = {"schema": HISTORY_SCHEMA, "kind": kind}
         if manifest:
             row["manifest"] = manifest
@@ -97,6 +105,13 @@ class RunHistory:
             row["metrics"] = flatten_metrics(metrics)
         if spans is not None:
             row["spans"] = span_wallclocks(spans)
+        if profile is not None:
+            if hasattr(profile, "as_span_clocks"):
+                profile = profile.as_span_clocks(prefix="")
+            if profile:
+                row["profile"] = {name: round(seconds, 6)
+                                  for name, seconds
+                                  in sorted(profile.items())}
         if wall_s is not None:
             row["wall_s"] = round(wall_s, 6)
         if extra:
@@ -196,6 +211,15 @@ def gate(rows: list[dict], *, tolerance: float = 0.25,
             continue
         if value > base * (1.0 + span_tolerance):
             flags.append(Regression(kind, f"span:{name}", base, value))
+    # Per-opcode profiles gate exactly like spans: wall time, slower
+    # only — a command-bus regression is a perf regression.
+    for name, value in (newest.get("profile") or {}).items():
+        base = _baseline_mean(previous, "profile", name, baseline)
+        if base is None or base <= 0:
+            continue
+        if value > base * (1.0 + span_tolerance):
+            flags.append(Regression(kind, f"profile:{name}", base,
+                                    value))
     wall = newest.get("wall_s")
     if wall is not None:
         values = [row.get("wall_s") for row in previous[-baseline:]]
@@ -222,11 +246,16 @@ def render_trend(rows: list[dict], metric: str | None = None) -> str:
                 value = (row.get("metrics") or {}).get(metric)
                 if value is None:
                     value = (row.get("spans") or {}).get(metric)
+                if value is None:
+                    value = (row.get("profile") or {}).get(metric)
                 lines.append(f"  run {number:>3}: {metric} = {value}")
             continue
         newest = kind_rows[-1]
         for name, value in sorted((newest.get("spans") or {}).items()):
             lines.append(f"  span {name:<28} {value:>10.3f}s")
+        for name, value in sorted(
+                (newest.get("profile") or {}).items()):
+            lines.append(f"  prof {name:<28} {value:>10.3f}s")
         if "wall_s" in newest:
             lines.append(f"  wall {'total':<28} "
                          f"{newest['wall_s']:>10.3f}s")

@@ -1,0 +1,480 @@
+"""Live telemetry: the side channel a running sweep reports into.
+
+Everything in :mod:`repro.obs` so far is post-hoc — traces, metrics,
+and history rows exist only after a run finishes.  This module is the
+*live* layer: workers publish periodic snapshots (units done, counter
+totals, the currently open span, commands issued) into a **spool
+directory** of JSONL files, strictly off the artifact path, so a
+coordinator — or ``python -m repro.obs.serve`` — can report progress,
+ETA, and stalls while the sweep is still executing.
+
+Design rules:
+
+- **Determinism is untouched.**  Telemetry carries wall-clock
+  timestamps and worker PIDs, which is exactly why it lives in its own
+  spool and never in the trace, the metrics fold, or any rendered
+  artifact.  ``--workers N`` stays byte-identical to sequential with
+  telemetry enabled (``tests/eval/test_parallel_determinism.py``).
+- **Crash-tolerant transport.**  Each work unit appends to its own
+  file (open-append-close per event), so a worker dying mid-line can
+  corrupt at most its own tail; :func:`read_spool` skips unparseable
+  lines instead of failing the whole scrape.
+- **Trace-context propagation.**  Every event is stamped with the
+  coordinator's ``run_id`` and its own ``unit`` id
+  (:class:`TraceContext`), so the per-unit span timelines shipped in
+  ``unit-done`` events reassemble into one *distributed* timeline
+  (:func:`assemble_timeline`) covering the whole worker pool.
+- **Liveness is observable.**  :class:`Watchdog` flags units whose
+  command counters stopped advancing within a deadline — a worker that
+  is *alive but wedged* still heartbeats, so staleness is judged on
+  progress, not on process liveness alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Counter names summed into each heartbeat's ``commands`` figure (the
+#: host command-bus pressure a live dashboard wants first).
+COMMAND_COUNTERS = ("host.acts", "host.refs")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Parent stamps propagated from the coordinator into every event.
+
+    ``run_id`` names the coordinating run; ``unit_id`` the work unit a
+    worker is executing (None for coordinator-side events).  Stamped
+    verbatim on every published event, the pair is what lets per-unit
+    timelines from many processes assemble into one.
+    """
+
+    run_id: str
+    unit_id: str | None = None
+
+    def stamp(self, event: dict) -> dict:
+        event["run"] = self.run_id
+        if self.unit_id is not None:
+            event["unit"] = self.unit_id
+        return event
+
+
+def spool_filename(unit_id: str | None) -> str:
+    """Stable, collision-free spool file name for one unit."""
+    if unit_id is None:
+        return "_coordinator.jsonl"
+    safe = "".join(ch if ch.isalnum() or ch in "._-" else "__"
+                   for ch in unit_id)
+    tag = zlib.crc32(unit_id.encode("utf-8")) & 0xFFFFFFFF
+    return f"{safe}-{tag:08x}.jsonl"
+
+
+class TelemetrySink:
+    """One unit's (or the coordinator's) end of the telemetry bus.
+
+    ``publish`` appends one JSON line per event; ``heartbeat`` is the
+    rate-limited periodic variant.  A sink is cheap to construct and
+    holds no open file handle, so it survives fork/pickle boundaries
+    trivially (the engine rebuilds one inside each worker).
+    """
+
+    enabled = True
+
+    def __init__(self, spool, context: TraceContext,
+                 min_interval_s: float = 0.25) -> None:
+        self.spool = Path(spool)
+        self.context = context
+        self.min_interval_s = min_interval_s
+        self.path = self.spool / spool_filename(context.unit_id)
+        self._seq = 0
+        self._last_heartbeat = 0.0
+
+    def publish(self, kind: str, **fields) -> dict:
+        """Append one event; returns the event as written."""
+        event: dict = {"kind": kind, "ts": round(time.time(), 6),
+                       "seq": self._seq}
+        self.context.stamp(event)
+        event.update(fields)
+        self._seq += 1
+        self.spool.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event, separators=(",", ":"))
+                         + "\n")
+        return event
+
+    def heartbeat(self, metrics=None, spans=None, **fields) -> bool:
+        """Publish a rate-limited ``heartbeat`` snapshot.
+
+        Carries the ambient registry's command totals and the innermost
+        open span, the two facts a dashboard needs to answer "is this
+        unit moving, and in which stage?".  Returns False when the
+        rate limit suppressed the event.
+        """
+        now = time.monotonic()
+        if now - self._last_heartbeat < self.min_interval_s:
+            return False
+        self._last_heartbeat = now
+        if metrics is not None and getattr(metrics, "enabled", False):
+            fields.setdefault("commands", sum(
+                metrics.counter(name) for name in COMMAND_COUNTERS))
+            fields.setdefault("counters", dict(
+                metrics.as_dict()["counters"]))
+        if spans is not None and getattr(spans, "enabled", False):
+            current = spans.current_name()
+            if current is not None:
+                fields.setdefault("span", current)
+        self.publish("heartbeat", **fields)
+        return True
+
+
+class NullTelemetrySink:
+    """Disabled sink: publishing costs one attribute check."""
+
+    enabled = False
+
+    def publish(self, kind: str, **fields) -> dict:
+        return {}
+
+    def heartbeat(self, metrics=None, spans=None, **fields) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Picklable recipe for the telemetry side channel of one run.
+
+    The engine ships this into every pool worker; each worker derives
+    its own :class:`TelemetrySink` from it.  ``interval_s`` paces the
+    background heartbeat; ``stall_deadline_s`` (when set) arms the
+    coordinator-side :class:`Watchdog`.
+    """
+
+    spool: str
+    run_id: str = "run"
+    interval_s: float = 1.0
+    stall_deadline_s: float | None = None
+    heartbeats: bool = True
+
+    def sink(self, unit_id: str | None = None) -> TelemetrySink:
+        context = TraceContext(run_id=self.run_id, unit_id=unit_id)
+        return TelemetrySink(self.spool, context,
+                             min_interval_s=self.interval_s / 2)
+
+
+class Heartbeat:
+    """Background thread publishing periodic unit snapshots.
+
+    Reads the ambient metrics registry and span tracker from *outside*
+    the unit's thread — dict reads are atomic under the GIL — so the
+    hot path pays nothing for liveness reporting.
+    """
+
+    def __init__(self, sink: TelemetrySink, metrics=None, spans=None,
+                 interval_s: float = 1.0) -> None:
+        self._sink = sink
+        self._metrics = metrics
+        self._spans = spans
+        self._interval_s = max(interval_s, 0.05)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "Heartbeat":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-telemetry")
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self._sink.heartbeat(self._metrics, self._spans)
+            except OSError:  # spool unwritable: liveness must not kill
+                return       # the unit it reports on
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+
+# -- coordinator side: reading the spool ---------------------------------
+
+
+def read_spool(spool) -> list[dict]:
+    """All events in a spool directory, oldest first.
+
+    Corrupt lines (a worker died mid-write) and foreign files are
+    skipped: a live endpoint must serve whatever is readable *now*.
+    """
+    spool = Path(spool)
+    if not spool.is_dir():
+        return []
+    events: list[dict] = []
+    for path in sorted(spool.glob("*.jsonl")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    events.sort(key=lambda e: (e.get("ts", 0.0), e.get("seq", 0)))
+    return events
+
+
+def _by_unit(events: list[dict]) -> dict[str, list[dict]]:
+    units: dict[str, list[dict]] = {}
+    for event in events:
+        unit = event.get("unit")
+        if unit is not None:
+            units.setdefault(unit, []).append(event)
+    return units
+
+
+def progress(events: list[dict], now: float | None = None) -> dict:
+    """One live progress summary from a spool's events.
+
+    Reports unit states (running / done / failed), an ETA extrapolated
+    from completed unit wall-clocks at the observed concurrency, total
+    commands issued so far, and each running unit's current span.
+    """
+    if now is None:
+        now = time.time()
+    run_id = None
+    units_total = None
+    workers = None
+    for event in events:
+        if event.get("kind") == "run-start":
+            run_id = event.get("run", run_id)
+            units_total = event.get("units_total", units_total)
+            workers = event.get("workers", workers)
+    units = _by_unit(events)
+    done: dict[str, float] = {}
+    failed: list[str] = []
+    running: dict[str, dict] = {}
+    commands = 0
+    for unit_id, unit_events in units.items():
+        last = unit_events[-1]
+        done_event = next((e for e in unit_events
+                           if e.get("kind") == "unit-done"), None)
+        if done_event is not None:
+            done[unit_id] = done_event.get("wall_s", 0.0)
+            commands += done_event.get("commands", 0)
+            if done_event.get("error"):
+                failed.append(unit_id)
+            continue
+        heartbeats = [e for e in unit_events
+                      if e.get("kind") == "heartbeat"]
+        newest = heartbeats[-1] if heartbeats else last
+        commands += newest.get("commands", 0)
+        running[unit_id] = {
+            "age_s": round(now - unit_events[0].get("ts", now), 3),
+            "span": newest.get("span"),
+            "commands": newest.get("commands", 0),
+        }
+    total = units_total if units_total is not None else len(units)
+    remaining = max(total - len(done), 0)
+    eta_s = None
+    if done and remaining:
+        mean_wall = sum(done.values()) / len(done)
+        concurrency = max(len(running), 1)
+        if workers:
+            concurrency = max(concurrency, min(workers, remaining))
+        eta_s = round(mean_wall * remaining / concurrency, 3)
+    return {
+        "run": run_id,
+        "units_total": total,
+        "units_done": len(done),
+        "units_failed": sorted(failed),
+        "units_running": dict(sorted(running.items())),
+        "unit_walls": {unit: round(wall, 6)
+                       for unit, wall in sorted(done.items())},
+        "commands": commands,
+        "eta_s": eta_s,
+    }
+
+
+def aggregate_metrics(events: list[dict]):
+    """Fold the spool's newest per-unit registry dumps into one.
+
+    Finished units contribute their final ``unit-done`` metrics;
+    still-running units contribute their last heartbeat's counters —
+    so a mid-sweep ``/metrics`` scrape reflects work in flight.
+    """
+    from .metrics import MetricsRegistry
+    registry = MetricsRegistry()
+    for unit_events in _by_unit(events).values():
+        newest: dict | None = None
+        for event in unit_events:
+            if event.get("kind") == "unit-done" \
+                    and event.get("metrics"):
+                newest = event["metrics"]
+        if newest is None:
+            heartbeats = [e for e in unit_events
+                          if e.get("kind") == "heartbeat"
+                          and e.get("counters")]
+            if heartbeats:
+                newest = {"counters": heartbeats[-1]["counters"]}
+        if newest:
+            registry.merge(newest)
+    return registry
+
+
+def assemble_timeline(events: list[dict]) -> list[dict]:
+    """Merge per-unit span timelines into one distributed timeline.
+
+    Each ``unit-done`` event carries the unit's :class:`SpanTracker`
+    timeline plus the wall-clock instant its tracker was created
+    (``origin_ts``).  Spans are re-based onto one shared origin (the
+    earliest tracker origin across units) so the merged timeline shows
+    the true overlap structure of the worker pool.
+    """
+    stamped: list[dict] = []
+    origins: list[float] = []
+    for event in events:
+        if event.get("kind") != "unit-done" or not event.get("spans"):
+            continue
+        origins.append(event.get("origin_ts", 0.0))
+    if not origins:
+        return []
+    epoch = min(origins)
+    for event in events:
+        if event.get("kind") != "unit-done" or not event.get("spans"):
+            continue
+        offset = event.get("origin_ts", 0.0) - epoch
+        for span in event["spans"]:
+            entry = dict(span)
+            entry["run"] = event.get("run")
+            entry["unit"] = event.get("unit")
+            entry["start_s"] = round(span.get("start_s", 0.0) + offset,
+                                     6)
+            if span.get("end_s") is not None:
+                entry["end_s"] = round(span["end_s"] + offset, 6)
+            stamped.append(entry)
+    stamped.sort(key=lambda e: (e["start_s"], e.get("unit") or ""))
+    return stamped
+
+
+@dataclass
+class StalledUnit:
+    """One unit the watchdog flagged: alive (maybe), but not moving."""
+
+    unit_id: str
+    age_s: float
+    last_kind: str
+    span: str | None = None
+
+    def describe(self) -> str:
+        where = f" in span {self.span!r}" if self.span else ""
+        return (f"{self.unit_id}: no progress for {self.age_s:.1f}s "
+                f"(last event {self.last_kind}{where})")
+
+
+class Watchdog:
+    """Stall detector over spool events.
+
+    A unit is *stalled* when it started, has not finished, and its
+    command counter has not advanced within ``deadline_s``.  Judged on
+    progress rather than heartbeat arrival: a wedged worker whose
+    heartbeat thread still runs is exactly the case a deadline on raw
+    liveness would miss.
+    """
+
+    def __init__(self, deadline_s: float) -> None:
+        self.deadline_s = deadline_s
+
+    def scan(self, events: list[dict],
+             now: float | None = None) -> list[StalledUnit]:
+        if now is None:
+            now = time.time()
+        stalled: list[StalledUnit] = []
+        for unit_id, unit_events in sorted(_by_unit(events).items()):
+            if any(e.get("kind") == "unit-done" for e in unit_events):
+                continue
+            progress_ts = unit_events[0].get("ts", now)
+            commands = None
+            span = None
+            last_kind = unit_events[0].get("kind", "?")
+            for event in unit_events:
+                span = event.get("span", span)
+                last_kind = event.get("kind", last_kind)
+                issued = event.get("commands")
+                if issued is not None and issued != commands:
+                    commands = issued
+                    progress_ts = event.get("ts", progress_ts)
+                elif issued is None:
+                    progress_ts = event.get("ts", progress_ts)
+            age = now - progress_ts
+            if age > self.deadline_s:
+                stalled.append(StalledUnit(unit_id=unit_id,
+                                           age_s=round(age, 3),
+                                           last_kind=last_kind,
+                                           span=span))
+        return stalled
+
+
+def render_progress(summary: dict) -> str:
+    """Compact text rendering of a :func:`progress` summary."""
+    lines = [f"run {summary.get('run') or '?'}: "
+             f"{summary['units_done']}/{summary['units_total']} units "
+             f"done, {len(summary['units_running'])} running, "
+             f"{summary['commands']} commands issued"]
+    if summary.get("eta_s") is not None:
+        lines[0] += f", eta {summary['eta_s']:.1f}s"
+    for unit, state in summary["units_running"].items():
+        span = f" span={state['span']}" if state.get("span") else ""
+        lines.append(f"  running {unit}: {state['age_s']:.1f}s"
+                     f"{span} commands={state['commands']}")
+    for unit in summary.get("units_failed", []):
+        lines.append(f"  FAILED {unit}")
+    return "\n".join(lines)
+
+
+def pool_breakdown(events: list[dict],
+                   pool_wall_s: float | None = None) -> dict:
+    """Straggler and overhead breakdown from one run's spool events.
+
+    With *pool_wall_s* (the coordinator-measured wall-clock of the
+    whole parallel run) the breakdown attributes the gap between the
+    pool wall and its critical path: ``overhead_s`` is time the pool
+    spent outside any unit (spawn, pickling, merge) plus imbalance.
+    """
+    walls = {unit: wall for unit, wall
+             in progress(events)["unit_walls"].items()}
+    if not walls:
+        return {"unit_walls": {}, "stragglers": []}
+    ordered = sorted(walls.items(), key=lambda kv: -kv[1])
+    breakdown = {
+        "unit_walls": {unit: round(wall, 6)
+                       for unit, wall in sorted(walls.items())},
+        "stragglers": [{"unit": unit, "wall_s": round(wall, 6)}
+                       for unit, wall in ordered[:3]],
+        "sum_unit_s": round(sum(walls.values()), 6),
+        "max_unit_s": round(ordered[0][1], 6),
+    }
+    if pool_wall_s is not None:
+        breakdown["pool_wall_s"] = round(pool_wall_s, 6)
+        breakdown["overhead_s"] = round(
+            max(pool_wall_s - ordered[0][1], 0.0), 6)
+    return breakdown
+
+
+# -- engine-facing helpers (used by repro.parallel) ----------------------
+
+
+def unit_start_fields() -> dict:
+    """Worker-identity fields stamped on ``unit-start`` events."""
+    return {"pid": os.getpid()}

@@ -1,0 +1,274 @@
+"""Command-bus profiling: where does a sweep's wall time actually go?
+
+The span layer answers "which pipeline *stage* is slow"; this module
+answers the layer below: which DDR **opcode** (ACT / RD / WR / REF /
+WAIT) the :class:`~repro.softmc.SoftMCHost` hot path spends its wall
+time executing, attributed per stage via the currently-open span.
+
+Two instruments:
+
+- :class:`CommandProfiler` — exact per-opcode wall-time accounting.
+  The host brackets every command with two ``perf_counter`` reads when
+  a profiler is attached; with :class:`NullProfiler` (the default) the
+  hot path pays one identity check, inside the <5% disabled-overhead
+  budget.  Because every host-side operation is bracketed, the opcode
+  rows sum to the host's total command-bus wall time by construction —
+  the attribution table's coverage column shows what fraction of an
+  enclosing wall-clock that explains.
+- :class:`CollapsedStackSampler` — a sampling profiler emitting
+  collapsed-stack lines (``frame;frame;frame count``, the flamegraph
+  input format) from a background thread, for the Python-side cost the
+  opcode accounting cannot see (pattern construction, scheduling,
+  result merging).
+
+Profiles fold across process-pool workers exactly like metrics do
+(:meth:`CommandProfiler.merge`, submission order), and
+:meth:`CommandProfiler.as_span_clocks` renders a profile in run-history
+span shape so stage-level regressions gate like wall-clock does
+(``python -m repro.obs.history --gate``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+#: Canonical opcode order for reports (matches the trace record types).
+OPCODES = ("ACT", "RD", "WR", "REF", "WAIT")
+
+
+class CommandProfiler:
+    """Per-opcode (and per-stage) wall-time attribution.
+
+    *spans*, when given, is a :class:`~repro.obs.SpanTracker`; each
+    sample is attributed to the innermost open span at the time the
+    command retired, giving a (stage × opcode) breakdown for free.
+    """
+
+    enabled = True
+
+    def __init__(self, spans=None) -> None:
+        self._spans = spans if (spans is not None
+                                and getattr(spans, "enabled", False)) \
+            else None
+        #: opcode -> total seconds.
+        self.seconds: dict[str, float] = {}
+        #: opcode -> command count.
+        self.counts: dict[str, int] = {}
+        #: stage name -> opcode -> seconds.
+        self.stages: dict[str, dict[str, float]] = {}
+
+    def add(self, opcode: str, seconds: float) -> None:
+        """Account one retired command (called from the host hot path)."""
+        self.seconds[opcode] = self.seconds.get(opcode, 0.0) + seconds
+        self.counts[opcode] = self.counts.get(opcode, 0) + 1
+        if self._spans is not None:
+            stage = self._spans.current_name()
+            if stage is not None:
+                per_op = self.stages.setdefault(stage, {})
+                per_op[opcode] = per_op.get(opcode, 0.0) + seconds
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def commands(self) -> int:
+        return sum(self.counts.values())
+
+    def merge(self, other) -> None:
+        """Fold another profiler (or its ``as_dict`` dump) into self."""
+        if isinstance(other, dict):
+            dump = other
+        else:
+            if not getattr(other, "enabled", False):
+                return
+            dump = other.as_dict()
+        for opcode, seconds in dump.get("seconds", {}).items():
+            self.seconds[opcode] = (self.seconds.get(opcode, 0.0)
+                                    + seconds)
+        for opcode, count in dump.get("counts", {}).items():
+            self.counts[opcode] = self.counts.get(opcode, 0) + count
+        for stage, per_op in dump.get("stages", {}).items():
+            mine = self.stages.setdefault(stage, {})
+            for opcode, seconds in per_op.items():
+                mine[opcode] = mine.get(opcode, 0.0) + seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "seconds": {op: round(s, 6) for op, s
+                        in sorted(self.seconds.items())},
+            "counts": dict(sorted(self.counts.items())),
+            "stages": {stage: {op: round(s, 6) for op, s
+                               in sorted(per_op.items())}
+                       for stage, per_op
+                       in sorted(self.stages.items())},
+            "total_s": round(self.total_s, 6),
+            "commands": self.commands,
+        }
+
+    def as_span_clocks(self, prefix: str = "opcode:") -> dict:
+        """Profile in run-history span shape (name -> seconds).
+
+        Recorded into a :class:`~repro.obs.RunHistory` row, these
+        entries are gated by the same slowdown-only rule as stage
+        spans — a per-opcode regression fails CI like a wall-clock one.
+        """
+        return {f"{prefix}{opcode}": round(seconds, 6)
+                for opcode, seconds in sorted(self.seconds.items())}
+
+    def render(self, wall_s: float | None = None) -> str:
+        """The attribution table: one row per opcode, sums at the foot.
+
+        With *wall_s* (an externally measured enclosing wall-clock) the
+        footer reports coverage — the fraction of that wall the opcode
+        rows explain.
+        """
+        if not self.seconds:
+            return "  (no commands profiled)"
+        total = self.total_s
+        lines = [f"  {'opcode':<6} {'commands':>10} {'seconds':>10} "
+                 f"{'us/cmd':>8} {'share':>7}"]
+        ordered = [op for op in OPCODES if op in self.seconds]
+        ordered += [op for op in sorted(self.seconds)
+                    if op not in OPCODES]
+        for opcode in ordered:
+            seconds = self.seconds[opcode]
+            count = self.counts.get(opcode, 0)
+            per = seconds / count * 1e6 if count else 0.0
+            share = seconds / total if total else 0.0
+            lines.append(f"  {opcode:<6} {count:>10} {seconds:>10.4f} "
+                         f"{per:>8.1f} {share:>6.1%}")
+        lines.append(f"  {'total':<6} {self.commands:>10} "
+                     f"{total:>10.4f}")
+        if wall_s is not None and wall_s > 0:
+            lines.append(f"  coverage: {total / wall_s:.1%} of "
+                         f"{wall_s:.3f}s measured wall")
+        return "\n".join(lines)
+
+    def render_stages(self) -> str:
+        """Per-stage opcode breakdown (one line per stage x opcode)."""
+        if not self.stages:
+            return "  (no stage attribution)"
+        lines = []
+        for stage, per_op in sorted(
+                self.stages.items(),
+                key=lambda kv: -sum(kv[1].values())):
+            total = sum(per_op.values())
+            ops = " ".join(f"{op}={seconds:.3f}s" for op, seconds
+                           in sorted(per_op.items(),
+                                     key=lambda kv: -kv[1]))
+            lines.append(f"  {stage:<32} {total:>8.3f}s  {ops}")
+        return "\n".join(lines)
+
+
+class NullProfiler:
+    """The disabled profiler: the hot path sees one identity check."""
+
+    enabled = False
+    seconds: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    stages: dict[str, dict[str, float]] = {}
+    total_s = 0.0
+    commands = 0
+
+    def add(self, opcode: str, seconds: float) -> None:
+        pass
+
+    def merge(self, other) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {"seconds": {}, "counts": {}, "stages": {},
+                "total_s": 0.0, "commands": 0}
+
+    def as_span_clocks(self, prefix: str = "opcode:") -> dict:
+        return {}
+
+    def render(self, wall_s: float | None = None) -> str:
+        return "  (profiling disabled)"
+
+    def render_stages(self) -> str:
+        return "  (profiling disabled)"
+
+
+class CollapsedStackSampler:
+    """Sampling profiler emitting flamegraph collapsed-stack lines.
+
+    Samples the *target* thread's Python stack from a daemon thread at
+    a fixed interval; each distinct root-to-leaf stack accumulates a
+    sample count.  ``render()`` emits the standard
+    ``frame;frame;frame count`` lines that flamegraph.pl / speedscope /
+    inferno consume directly.
+    """
+
+    def __init__(self, interval_s: float = 0.005,
+                 target_thread_id: int | None = None) -> None:
+        self.interval_s = interval_s
+        self._target = target_thread_id
+        self.samples: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "CollapsedStackSampler":
+        if self._target is None:
+            self._target = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-stack-sampler")
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(self._target)
+            if frame is None:
+                continue
+            stack = []
+            while frame is not None:
+                code = frame.f_code
+                module = code.co_filename.rsplit("/", 1)[-1]
+                stack.append(f"{module}:{code.co_name}")
+                frame = frame.f_back
+            key = ";".join(reversed(stack))
+            self.samples[key] = self.samples.get(key, 0) + 1
+
+    def stop(self) -> "CollapsedStackSampler":
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        return self
+
+    def __enter__(self) -> "CollapsedStackSampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def render(self) -> str:
+        """Collapsed-stack lines, heaviest stacks first."""
+        return "\n".join(
+            f"{stack} {count}" for stack, count
+            in sorted(self.samples.items(),
+                      key=lambda kv: (-kv[1], kv[0])))
+
+    def write(self, path) -> None:
+        from pathlib import Path
+        text = self.render()
+        Path(path).write_text(text + ("\n" if text else ""),
+                              encoding="utf-8")
+
+
+def profile_report(profiler: CommandProfiler,
+                   wall_s: float | None = None) -> dict:
+    """JSON-ready attribution report for benchmarks and artifacts."""
+    report = profiler.as_dict()
+    if wall_s is not None:
+        report["wall_s"] = round(wall_s, 6)
+        if wall_s > 0:
+            report["coverage"] = round(profiler.total_s / wall_s, 4)
+    return report

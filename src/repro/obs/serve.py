@@ -1,0 +1,164 @@
+"""``python -m repro.obs.serve`` — curl a sweep while it runs.
+
+A stdlib-only HTTP endpoint over a telemetry spool directory
+(:mod:`repro.obs.live`).  Point it at the ``--telemetry`` spool of a
+running ``python -m repro.eval`` sweep and scrape:
+
+- ``/metrics``  — Prometheus text format: every unit's folded counter
+  /gauge/histogram state plus live progress gauges
+  (``telemetry.units_done`` and friends);
+- ``/progress`` — JSON progress summary (units done/running/failed,
+  ETA, per-unit current span, stalls when ``--stall-deadline`` is set);
+- ``/spans``    — the merged distributed span timeline across every
+  worker, JSON;
+- ``/events``   — the raw merged JSONL event stream.
+
+The server holds no state: every request re-reads the spool, so it can
+be started before, during, or after the sweep it observes — the first
+concrete step toward the ROADMAP's evaluation-as-a-service run server.
+
+Usage::
+
+    python -m repro.eval fig9 --telemetry /tmp/spool &
+    python -m repro.obs.serve /tmp/spool --port 8321 &
+    curl -s localhost:8321/progress | python -m json.tool
+    curl -s localhost:8321/metrics | head
+
+``--once`` renders every endpoint to stdout and exits (no socket) —
+useful for smoke tests and cron snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from .live import (Watchdog, aggregate_metrics, assemble_timeline,
+                   progress, read_spool)
+
+ENDPOINTS = ("/metrics", "/progress", "/spans", "/events")
+
+
+def render_endpoint(spool, path: str,
+                    stall_deadline_s: float | None = None
+                    ) -> tuple[int, str, str]:
+    """One endpoint's response: ``(status, content_type, body)``.
+
+    Pure function of the spool contents so tests (and ``--once``) can
+    exercise every route without opening a socket.
+    """
+    events = read_spool(spool)
+    if path == "/metrics":
+        registry = aggregate_metrics(events)
+        summary = progress(events)
+        registry.set_gauge("telemetry.units_total",
+                           summary["units_total"])
+        registry.set_gauge("telemetry.units_done",
+                           summary["units_done"])
+        registry.set_gauge("telemetry.units_running",
+                           len(summary["units_running"]))
+        registry.set_gauge("telemetry.commands", summary["commands"])
+        if summary.get("eta_s") is not None:
+            registry.set_gauge("telemetry.eta_s", summary["eta_s"])
+        return 200, PROMETHEUS_CONTENT_TYPE, render_prometheus(registry)
+    if path == "/progress":
+        summary = progress(events)
+        if stall_deadline_s is not None:
+            summary["stalled"] = [
+                {"unit": stall.unit_id, "age_s": stall.age_s,
+                 "last": stall.last_kind, "span": stall.span}
+                for stall in Watchdog(stall_deadline_s).scan(events)]
+        return 200, "application/json", json.dumps(summary, indent=2)
+    if path == "/spans":
+        return (200, "application/json",
+                json.dumps(assemble_timeline(events), indent=2))
+    if path == "/events":
+        body = "\n".join(json.dumps(event, separators=(",", ":"))
+                         for event in events)
+        return 200, "application/jsonl", body
+    if path in ("/", ""):
+        return (200, "text/plain",
+                "repro.obs.serve endpoints: "
+                + " ".join(ENDPOINTS))
+    return 404, "text/plain", f"unknown endpoint {path!r}\n"
+
+
+def make_handler(spool, stall_deadline_s: float | None = None,
+                 quiet: bool = True):
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 — stdlib API
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            status, content_type, body = render_endpoint(
+                spool, path, stall_deadline_s)
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, fmt, *args) -> None:
+            if not quiet:
+                super().log_message(fmt, *args)
+
+    return Handler
+
+
+def serve(spool, host: str = "127.0.0.1", port: int = 8321,
+          stall_deadline_s: float | None = None,
+          quiet: bool = True) -> ThreadingHTTPServer:
+    """Bind and return the server (caller drives ``serve_forever``)."""
+    handler = make_handler(spool, stall_deadline_s, quiet=quiet)
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.serve",
+        description="Serve /metrics, /progress, /spans and /events "
+                    "over a live telemetry spool directory.")
+    parser.add_argument("spool", help="telemetry spool directory "
+                        "(the --telemetry path of a sweep)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--stall-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="flag units with no progress within this "
+                             "deadline in /progress")
+    parser.add_argument("--once", action="store_true",
+                        help="render every endpoint to stdout and exit "
+                             "(no socket)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log one line per request to stderr")
+    args = parser.parse_args(argv)
+
+    if args.once:
+        for path in ENDPOINTS:
+            _, content_type, body = render_endpoint(
+                args.spool, path, args.stall_deadline)
+            print(f"== {path} ({content_type})")
+            print(body)
+        return 0
+
+    server = serve(args.spool, args.host, args.port,
+                   stall_deadline_s=args.stall_deadline,
+                   quiet=not args.verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving telemetry from {args.spool} on "
+          f"http://{bound_host}:{bound_port} "
+          f"({' '.join(ENDPOINTS)})", file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,16 @@ class SpanTracker:
             record["end_s"] = round(self._clock() - self._origin, 6)
             self._stack.pop()
 
+    def current_name(self) -> str | None:
+        """Name of the innermost open span (None outside any span).
+
+        The live-telemetry heartbeat and the command-bus profiler read
+        this to attribute "now" to a pipeline stage.
+        """
+        if not self._stack:
+            return None
+        return self.spans[self._stack[-1]]["name"]
+
     def as_timeline(self) -> list[dict]:
         """The spans with computed durations (open spans report None)."""
         timeline = []
@@ -100,6 +110,9 @@ class NullSpans:
 
     def span(self, name: str, **attrs):
         return _NULL_CONTEXT
+
+    def current_name(self) -> str | None:
+        return None
 
     def as_timeline(self) -> list[dict]:
         return []

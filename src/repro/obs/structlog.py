@@ -11,6 +11,7 @@ touching the artifact bytes on stdout.
 from __future__ import annotations
 
 import sys
+import time
 from typing import IO
 
 
@@ -29,17 +30,29 @@ class StructuredLog:
 
     ``enabled=False`` silences everything — the ``--quiet`` contract is
     that stdout stays byte-stable and stderr stays empty.
+
+    ``elapsed=True`` (opt-in; off by default so byte-stable stderr
+    expectations keep holding) stamps every line with a monotonic
+    ``elapsed_ms=`` field counted from the logger's construction — the
+    eval CLIs enable it so long sweeps show per-event latency in place.
     """
 
     def __init__(self, stream: IO[str] | None = None,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True, elapsed: bool = False,
+                 clock=time.monotonic) -> None:
         self._stream = stream if stream is not None else sys.stderr
         self.enabled = enabled
+        self.elapsed = elapsed
+        self._clock = clock
+        self._origin = clock()
 
     def _emit(self, level: str, event: str, fields: dict) -> None:
         if not self.enabled:
             return
         parts = [f"event={_format_value(event)}", f"level={level}"]
+        if self.elapsed:
+            elapsed_ms = int((self._clock() - self._origin) * 1000)
+            parts.append(f"elapsed_ms={elapsed_ms}")
         parts.extend(f"{key}={_format_value(value)}"
                      for key, value in fields.items())
         self._stream.write(" ".join(parts) + "\n")

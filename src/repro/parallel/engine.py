@@ -25,25 +25,44 @@ What does NOT come for free is *reproducibility discipline*:
   manifest (``include_time=False``, no worker identity) so per-unit
   artifacts from a parallel run diff clean against a sequential run.
 * **Complete metrics** — each work unit records into an *ambient*
-  per-unit :class:`~repro.obs.MetricsRegistry` (reachable inside the
+  per-unit :class:`~repro.obs.Observability` (reachable inside the
   unit via :func:`unit_observability`); pool workers ship their
   registry back with the result and the engine folds every unit's
   counters and histograms into the caller's registry **in submission
   order**, so ``metrics.json`` from a ``--workers N`` run equals the
-  sequential one.  With ``workers=1`` the ambient registry *is* the
-  caller's registry — no copy, the exact sequential path.
+  sequential one.  With ``workers=1`` (and no telemetry) the ambient
+  registry *is* the caller's registry — no copy, the exact sequential
+  path.
+* **Live telemetry stays off the artifact path** — a
+  :class:`~repro.obs.TelemetryConfig` makes every unit publish
+  ``unit-start`` / ``heartbeat`` / ``unit-done`` events (wall-clock,
+  PID, counter snapshots, the open span, the unit's span timeline)
+  into a spool directory; nothing telemetry-derived ever reaches a
+  manifest, the metrics fold, or a rendered artifact, so enabling it
+  cannot perturb byte-identity.  ``stall_deadline_s`` arms a
+  coordinator-side :class:`~repro.obs.Watchdog` that flags units whose
+  command counters stop advancing.
+* **Per-unit profiling folds like metrics** — a caller-supplied
+  :class:`~repro.obs.CommandProfiler` makes each unit profile its host
+  command bus; dumps ship home in the result envelope and fold in
+  submission order.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigError
-from ..obs import NULL_OBS, MetricsRegistry, Observability, build_manifest
+from ..obs import (NULL_OBS, CommandProfiler, MetricsRegistry,
+                   Observability, SpanTracker, build_manifest)
+from ..obs.live import (COMMAND_COUNTERS, Heartbeat, Watchdog,
+                        read_spool, unit_start_fields)
 from ..rng import SeedSequenceFactory
 
 #: Root of every engine-derived seed; unit seeds depend only on the
@@ -56,25 +75,36 @@ def unit_seed(unit_id: str) -> int:
     return ENGINE_SEEDS.seed(unit_id)
 
 
-#: The ambient per-unit metrics registry: bound while a work unit's
-#: function executes (to the caller's registry inline, to a fresh
+#: The ambient per-unit observability bundle: bound while a work unit's
+#: function executes (wrapping the caller's registry inline, a fresh
 #: shipped-home registry in a pool worker), None outside any unit.
-_unit_metrics: MetricsRegistry | None = None
+_unit_obs: Observability | None = None
 
 
 def unit_observability() -> Observability:
     """The executing work unit's ambient observability bundle.
 
     Unit functions call this (directly or via an ``obs=None`` fallback)
-    to reach the registry the engine folds into the caller's metrics.
-    Outside a unit — or when the caller runs without metrics — this is
-    :data:`~repro.obs.NULL_OBS`, so instrumented code never branches.
+    to reach the registry — and, when the run profiles, the span
+    tracker and command profiler — the engine folds into the caller's
+    instruments.  Outside a unit — or when the caller runs without
+    metrics — this is :data:`~repro.obs.NULL_OBS`, so instrumented
+    code never branches.
     """
-    if _unit_metrics is None:
+    if _unit_obs is None:
         return NULL_OBS
-    return Observability(recorder=NULL_OBS.recorder,
-                         metrics=_unit_metrics,
-                         spans=NULL_OBS.spans)
+    return _unit_obs
+
+
+def _ambient(metrics=None, spans=None, profiler=None) -> Observability | None:
+    """An ambient bundle around whichever instruments a unit has."""
+    if metrics is None and spans is None and profiler is None:
+        return None
+    return Observability(
+        recorder=NULL_OBS.recorder,
+        metrics=metrics if metrics is not None else NULL_OBS.metrics,
+        spans=spans if spans is not None else NULL_OBS.spans,
+        profiler=profiler if profiler is not None else NULL_OBS.profiler)
 
 
 def default_workers() -> int:
@@ -123,6 +153,12 @@ class UnitOutcome:
     #: Metrics the unit recorded (``as_dict`` form; pool runs only —
     #: inline units write straight into the caller's registry).
     metrics: dict | None = None
+    #: Measured wall-clock seconds of the winning attempt.  Side
+    #: channel: never part of the manifest or any rendered artifact.
+    wall_s: float | None = None
+    #: Per-opcode command-bus profile (``CommandProfiler.as_dict``
+    #: form; only populated when the run profiles).
+    profile: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -135,6 +171,9 @@ class ParallelRun:
 
     outcomes: list[UnitOutcome]
     workers: int
+    #: Units the telemetry watchdog flagged as stalled mid-run
+    #: (:class:`~repro.obs.StalledUnit`); empty without a deadline.
+    stalled: list = field(default_factory=list)
 
     @property
     def values(self) -> list[Any]:
@@ -154,41 +193,115 @@ class ParallelRun:
         """Per-unit manifests, input order — worker-count independent."""
         return [outcome.manifest for outcome in self.outcomes]
 
+    def unit_walls(self) -> dict[str, float]:
+        """Measured per-unit wall-clock seconds (side channel)."""
+        return {outcome.unit_id: outcome.wall_s
+                for outcome in self.outcomes
+                if outcome.wall_s is not None}
+
+    def stragglers(self, count: int = 3) -> list[UnitOutcome]:
+        """The *count* slowest units, slowest first."""
+        timed = [outcome for outcome in self.outcomes
+                 if outcome.wall_s is not None]
+        timed.sort(key=lambda outcome: -outcome.wall_s)
+        return timed[:count]
+
 
 @dataclass
 class _UnitEnvelope:
-    """Pool-worker return wrapper: the unit's value plus its metrics.
-
-    Only used when the unit actually recorded metrics, so units that
-    never touch observability pickle exactly what they always did.
-    """
+    """Pool-worker return wrapper: the unit's value plus side-channel
+    observability (metrics dump, measured wall, per-opcode profile)."""
 
     value: Any
-    metrics: dict
+    metrics: dict | None = None
+    wall_s: float | None = None
+    profile: dict | None = None
 
 
-def _call_unit(unit: WorkUnit) -> Any:
-    """Top-level trampoline the pool pickles instead of the unit fn.
-
-    Runs in the worker process: binds a fresh ambient registry for the
-    unit's duration and ships it home with the result when non-empty.
-    """
-    global _unit_metrics
-    registry = MetricsRegistry()
-    _unit_metrics = registry
+def _publish(sink, kind: str, **fields) -> None:
+    """Publish one telemetry event; the spool must never kill work."""
+    if sink is None:
+        return
     try:
-        value = unit.run()
-    finally:
-        _unit_metrics = None
+        sink.publish(kind, **fields)
+    except OSError:
+        pass
+
+
+def _unit_done_fields(registry, spans, origin_ts, profiler, wall_s,
+                      error) -> dict:
+    """The ``unit-done`` event payload (progress + distributed spans)."""
+    fields: dict = {
+        "wall_s": round(wall_s, 6),
+        "commands": sum(registry.counter(name)
+                        for name in COMMAND_COUNTERS),
+    }
     dump = registry.as_dict()
     if any(dump.values()):
-        return _UnitEnvelope(value=value, metrics=dump)
-    return value
+        fields["metrics"] = dump
+    if spans is not None and spans.spans:
+        fields["spans"] = spans.as_timeline()
+        fields["origin_ts"] = round(origin_ts, 6)
+    if profiler is not None and profiler.commands:
+        fields["profile"] = profiler.as_dict()
+    if error is not None:
+        fields["error"] = f"{type(error).__name__}: {error}"
+    return fields
+
+
+def _call_unit(unit: WorkUnit, telemetry=None,
+               profile: bool = False) -> Any:
+    """Top-level trampoline the pool pickles instead of the unit fn.
+
+    Runs in the worker process: binds a fresh ambient bundle for the
+    unit's duration and ships the registry (plus measured wall and any
+    profile) home in a :class:`_UnitEnvelope`.  With *telemetry*, the
+    worker additionally publishes ``unit-start`` / ``heartbeat`` /
+    ``unit-done`` events into the spool — side channel only.
+    """
+    global _unit_obs
+    live = telemetry is not None
+    registry = MetricsRegistry()
+    spans = SpanTracker() if (live or profile) else None
+    origin_ts = time.time() if spans is not None else None
+    profiler = CommandProfiler(spans=spans) if profile else None
+    sink = telemetry.sink(unit.unit_id) if live else None
+    heartbeat = None
+    if sink is not None:
+        _publish(sink, "unit-start", **unit_start_fields())
+        if telemetry.heartbeats:
+            heartbeat = Heartbeat(sink, metrics=registry, spans=spans,
+                                  interval_s=telemetry.interval_s).start()
+    _unit_obs = _ambient(metrics=registry, spans=spans, profiler=profiler)
+    start = perf_counter()
+    error: BaseException | None = None
+    try:
+        value = unit.run()
+    except BaseException as err:
+        error = err
+        raise
+    finally:
+        _unit_obs = None
+        wall_s = perf_counter() - start
+        if heartbeat is not None:
+            heartbeat.stop()
+        if sink is not None:
+            _publish(sink, "unit-done",
+                     **_unit_done_fields(registry, spans, origin_ts,
+                                         profiler, wall_s, error))
+    dump = registry.as_dict()
+    return _UnitEnvelope(
+        value=value,
+        metrics=dump if any(dump.values()) else None,
+        wall_s=round(wall_s, 6),
+        profile=(profiler.as_dict()
+                 if profiler is not None and profiler.commands else None))
 
 
 def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
               max_attempts: int = 2, quarantine: bool = False,
-              log=None, metrics=None) -> ParallelRun:
+              log=None, metrics=None, telemetry=None,
+              profiler=None) -> ParallelRun:
     """Execute *units*, return outcomes in input order.
 
     ``workers=1`` runs every unit inline in this process — the exact
@@ -205,6 +318,16 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
     receives every unit's recorded metrics: bound as the ambient unit
     registry inline, folded in submission order from pool workers — the
     final registry is identical for any worker count.
+
+    *telemetry*, when given, is a :class:`repro.obs.TelemetryConfig`:
+    the run publishes ``run-start`` / ``run-done`` plus per-unit
+    progress events into its spool directory, strictly off the
+    artifact path.  A ``stall_deadline_s`` arms a coordinator-side
+    watchdog; flagged units land in :attr:`ParallelRun.stalled`.
+
+    *profiler*, when given, is a :class:`repro.obs.CommandProfiler`
+    that receives every unit's per-opcode command-bus attribution,
+    folded in submission order exactly like metrics.
     """
     if workers < 1:
         raise ConfigError("workers must be >= 1")
@@ -215,43 +338,107 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
         raise ConfigError("work unit ids must be unique")
     if metrics is not None and not metrics.enabled:
         metrics = None
+    if profiler is not None and not profiler.enabled:
+        profiler = None
+    coordinator = telemetry.sink(None) if telemetry is not None else None
+    if coordinator is not None:
+        _publish(coordinator, "run-start", units_total=len(units),
+                 workers=workers)
     if workers == 1:
-        return _run_inline(units, log=log, metrics=metrics)
-    run = _run_pool(units, workers, max_attempts=max_attempts,
-                    quarantine=quarantine, log=log)
-    if metrics is not None:
+        run = _run_inline(units, log=log, metrics=metrics,
+                          telemetry=telemetry, profiler=profiler)
+    else:
+        run = _run_pool(units, workers, max_attempts=max_attempts,
+                        quarantine=quarantine, log=log,
+                        telemetry=telemetry,
+                        profile=profiler is not None,
+                        coordinator=coordinator)
         for outcome in run.outcomes:
-            if outcome.metrics:
+            if metrics is not None and outcome.metrics:
                 metrics.merge(outcome.metrics)
+            if profiler is not None and outcome.profile:
+                profiler.merge(outcome.profile)
+    if coordinator is not None:
+        _publish(coordinator, "run-done",
+                 units_done=sum(1 for o in run.outcomes if o.ok),
+                 quarantined=len(run.quarantined),
+                 retries=run.retries)
     return run
 
 
-def _run_inline(units: Sequence[WorkUnit], log=None,
-                metrics=None) -> ParallelRun:
-    global _unit_metrics
+def _run_inline(units: Sequence[WorkUnit], log=None, metrics=None,
+                telemetry=None, profiler=None) -> ParallelRun:
+    global _unit_obs
+    live = telemetry is not None
     outcomes = []
     for unit in units:
-        _unit_metrics = metrics
+        # Without telemetry the unit records straight into the caller's
+        # registry (the exact sequential path); with it, a fresh
+        # per-unit registry feeds heartbeats and the unit-done snapshot
+        # and is folded into the caller's afterwards — the same
+        # submission-order fold the pool performs, so the final
+        # registry is byte-identical either way.
+        unit_metrics = MetricsRegistry() if live else metrics
+        spans = SpanTracker() if (live or profiler is not None) else None
+        origin_ts = time.time() if spans is not None else None
+        unit_prof = (CommandProfiler(spans=spans)
+                     if profiler is not None else None)
+        sink = telemetry.sink(unit.unit_id) if live else None
+        heartbeat = None
+        if sink is not None:
+            _publish(sink, "unit-start", **unit_start_fields())
+            if telemetry.heartbeats:
+                heartbeat = Heartbeat(sink, metrics=unit_metrics,
+                                      spans=spans,
+                                      interval_s=telemetry.interval_s
+                                      ).start()
+        _unit_obs = _ambient(metrics=unit_metrics, spans=spans,
+                             profiler=unit_prof)
+        start = perf_counter()
+        error: BaseException | None = None
         try:
             value = unit.run()
+        except BaseException as err:
+            error = err
+            raise
         finally:
-            _unit_metrics = None
+            _unit_obs = None
+            wall_s = perf_counter() - start
+            if heartbeat is not None:
+                heartbeat.stop()
+            if sink is not None:
+                _publish(sink, "unit-done",
+                         **_unit_done_fields(unit_metrics, spans,
+                                             origin_ts, unit_prof,
+                                             wall_s, error))
+        if live and metrics is not None:
+            metrics.merge(unit_metrics.as_dict())
+        if profiler is not None and unit_prof is not None:
+            profiler.merge(unit_prof)
         if log is not None:
             log.info("unit-done", unit=unit.unit_id, attempts=1)
         outcomes.append(UnitOutcome(unit_id=unit.unit_id, value=value,
-                                    manifest=unit.manifest()))
+                                    manifest=unit.manifest(),
+                                    wall_s=round(wall_s, 6)))
     return ParallelRun(outcomes=outcomes, workers=1)
 
 
 def _run_pool(units: Sequence[WorkUnit], workers: int, *,
-              max_attempts: int, quarantine: bool, log=None) -> ParallelRun:
+              max_attempts: int, quarantine: bool, log=None,
+              telemetry=None, profile: bool = False,
+              coordinator=None) -> ParallelRun:
     slots: dict[str, UnitOutcome] = {}
     attempts = {unit.unit_id: 0 for unit in units}
     pending = list(units)
     pool_size = min(workers, max(len(units), 1))
+    stalled: list = []
     while pending:
         pending, failed = _drain_pool(pending, pool_size, attempts, slots,
-                                      max_attempts, log)
+                                      max_attempts, log,
+                                      telemetry=telemetry,
+                                      profile=profile,
+                                      coordinator=coordinator,
+                                      stalled=stalled)
         for unit, error in failed:
             if not quarantine:
                 raise error
@@ -264,12 +451,36 @@ def _run_pool(units: Sequence[WorkUnit], workers: int, *,
                 quarantined=True, error=f"{type(error).__name__}: {error}",
                 manifest=unit.manifest())
     outcomes = [slots[unit.unit_id] for unit in units]
-    return ParallelRun(outcomes=outcomes, workers=workers)
+    return ParallelRun(outcomes=outcomes, workers=workers,
+                       stalled=stalled)
+
+
+def _scan_stalls(watchdog, telemetry, reported: set, stalled: list,
+                 log, coordinator) -> None:
+    """One watchdog pass over the spool; new stalls are reported once."""
+    try:
+        events = read_spool(telemetry.spool)
+    except OSError:
+        return
+    for stall in watchdog.scan(events):
+        if stall.unit_id in reported:
+            continue
+        reported.add(stall.unit_id)
+        stalled.append(stall)
+        if log is not None:
+            log.warning("unit-stalled", unit=stall.unit_id,
+                        age_s=round(stall.age_s, 1),
+                        span=stall.span or "-")
+        _publish(coordinator, "unit-stalled", stalled_unit=stall.unit_id,
+                 age_s=stall.age_s, span=stall.span,
+                 last_kind=stall.last_kind)
 
 
 def _drain_pool(pending: list[WorkUnit], pool_size: int,
                 attempts: dict[str, int], slots: dict[str, UnitOutcome],
-                max_attempts: int, log):
+                max_attempts: int, log, telemetry=None,
+                profile: bool = False, coordinator=None,
+                stalled: list | None = None):
     """One pool lifetime: run *pending* until done or the pool breaks.
 
     Returns ``(retryable, failed)`` — units to resubmit on a fresh pool,
@@ -278,14 +489,28 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
     retryable: list[WorkUnit] = []
     failed: list[tuple[WorkUnit, BaseException]] = []
     broken = False
+    watchdog = None
+    wait_timeout = None
+    reported: set[str] = set()
+    if telemetry is not None and telemetry.stall_deadline_s:
+        watchdog = Watchdog(telemetry.stall_deadline_s)
+        # Poll at half the deadline so a stall is flagged at most one
+        # scan late; the wait() below otherwise blocks indefinitely.
+        wait_timeout = max(telemetry.stall_deadline_s / 2, 0.05)
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
         futures = {}
         for unit in pending:
             attempts[unit.unit_id] += 1
-            futures[pool.submit(_call_unit, unit)] = unit
+            futures[pool.submit(_call_unit, unit, telemetry,
+                                profile)] = unit
         not_done = set(futures)
         while not_done:
-            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            done, not_done = wait(not_done, timeout=wait_timeout,
+                                  return_when=FIRST_COMPLETED)
+            if not done and watchdog is not None:
+                _scan_stalls(watchdog, telemetry, reported, stalled,
+                             log, coordinator)
+                continue
             lost: list[tuple[WorkUnit, BaseException]] = []
             for future in done:
                 unit = futures[future]
@@ -305,14 +530,20 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
                         log.info("unit-done", unit=unit.unit_id,
                                  attempts=attempts[unit.unit_id])
                     unit_metrics = None
+                    unit_wall = None
+                    unit_profile = None
                     if isinstance(value, _UnitEnvelope):
                         unit_metrics = value.metrics
+                        unit_wall = value.wall_s
+                        unit_profile = value.profile
                         value = value.value
                     slots[unit.unit_id] = UnitOutcome(
                         unit_id=unit.unit_id, value=value,
                         attempts=attempts[unit.unit_id],
                         manifest=unit.manifest(),
-                        metrics=unit_metrics)
+                        metrics=unit_metrics,
+                        wall_s=unit_wall,
+                        profile=unit_profile)
             if broken:
                 # Every unit still in flight died with the pool; re-run
                 # them all on a fresh pool (bounded by max_attempts).
@@ -350,7 +581,8 @@ def parallel_map(fn: Callable[..., Any], calls: Sequence[tuple],
                  unit_ids: Sequence[str], workers: int = 1, *,
                  meta: Sequence[dict] | None = None,
                  max_attempts: int = 2, quarantine: bool = False,
-                 log=None, metrics=None) -> ParallelRun:
+                 log=None, metrics=None, telemetry=None,
+                 profiler=None) -> ParallelRun:
     """Map *fn* over positional-argument tuples as one unit per call."""
     if len(calls) != len(unit_ids):
         raise ConfigError("calls and unit_ids must have equal length")
@@ -360,4 +592,5 @@ def parallel_map(fn: Callable[..., Any], calls: Sequence[tuple],
     units = [WorkUnit(unit_id=uid, fn=fn, args=tuple(args), meta=m)
              for uid, args, m in zip(unit_ids, calls, metas)]
     return run_units(units, workers, max_attempts=max_attempts,
-                     quarantine=quarantine, log=log, metrics=metrics)
+                     quarantine=quarantine, log=log, metrics=metrics,
+                     telemetry=telemetry, profiler=profiler)

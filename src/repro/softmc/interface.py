@@ -15,6 +15,7 @@ observables are read-back data and the host's own clock.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -60,6 +61,12 @@ class SoftMCHost:
         metrics = obs.metrics if obs is not None else None
         self._metrics = metrics if (metrics is not None
                                     and metrics.enabled) else None
+        profiler = getattr(obs, "profiler", None) if obs is not None \
+            else None
+        #: Command-bus profiler, resolved once like the recorder: the
+        #: disabled hot path pays one ``is not None`` check per command.
+        self._prof = profiler if (profiler is not None
+                                  and profiler.enabled) else None
         #: ACTs accumulated since the last REF burst (metrics only).
         self._window_acts = 0
         #: Identity-keyed memo of written-pattern trace specs (recording
@@ -145,18 +152,21 @@ class SoftMCHost:
 
     def write_row(self, bank: int, row: int, pattern: DataPattern) -> None:
         """Write *pattern* into the row (logical addressing)."""
+        start = perf_counter() if self._prof is not None else 0.0
         if self._rec is not None:
             self._rec.on_write(self._chip.now_ps, bank, row,
                                pattern=self._pattern_spec(pattern))
         self._count_acts(bank, 1)
         self._tick()
-        if self._faults is not None and self._faults.drop_write(
+        if self._faults is None or not self._faults.drop_write(
                 self._chip.now_ps):
-            return
-        self._chip.write_row(bank, row, pattern)
+            self._chip.write_row(bank, row, pattern)
+        if self._prof is not None:
+            self._prof.add("WR", perf_counter() - start)
 
     def read_row(self, bank: int, row: int) -> np.ndarray:
         """Read the row's current bits."""
+        start = perf_counter() if self._prof is not None else 0.0
         issue_ps = self._chip.now_ps if self._rec is not None else 0
         self._count_acts(bank, 1)
         self._tick()
@@ -168,10 +178,13 @@ class SoftMCHost:
             # the payload digest; ``ps`` is still the issue-time clock.
             self._rec.on_read(issue_ps, bank, row,
                               digest=data_digest(bits))
+        if self._prof is not None:
+            self._prof.add("RD", perf_counter() - start)
         return bits
 
     def read_row_mismatches(self, bank: int, row: int) -> list[int]:
         """Bit positions differing from the last written data."""
+        start = perf_counter() if self._prof is not None else 0.0
         issue_ps = self._chip.now_ps if self._rec is not None else 0
         self._count_acts(bank, 1)
         self._tick()
@@ -183,6 +196,8 @@ class SoftMCHost:
             self._rec.on_read(issue_ps, bank, row,
                               digest=mismatch_digest(mismatches),
                               mismatches=True)
+        if self._prof is not None:
+            self._prof.add("RD", perf_counter() - start)
         return mismatches
 
     # -- hammering ------------------------------------------------------------
@@ -190,20 +205,26 @@ class SoftMCHost:
     def hammer(self, bank: int, pattern: Iterable[tuple[int, int]],
                mode: HammerMode = HammerMode.INTERLEAVED) -> None:
         """Hammer rows of one bank with per-row counts in *mode* order."""
+        start = perf_counter() if self._prof is not None else 0.0
         entries = tuple((row, count) for row, count in pattern)
         if self._rec is not None:
             self._rec.on_act(self._chip.now_ps, bank, entries, mode)
         self._count_acts(bank, sum(count for _, count in entries))
         self._hammer_batch(ActBatch(bank=bank, pattern=entries, mode=mode))
+        if self._prof is not None:
+            self._prof.add("ACT", perf_counter() - start)
 
     def hammer_single(self, bank: int, row: int, count: int) -> None:
         """Hammer one row *count* times (a cascaded run)."""
+        start = perf_counter() if self._prof is not None else 0.0
         if self._rec is not None:
             self._rec.on_act(self._chip.now_ps, bank, ((row, count),),
                              HammerMode.CASCADED)
         self._count_acts(bank, count)
         self._hammer_batch(ActBatch(bank=bank, pattern=((row, count),),
                                     mode=HammerMode.CASCADED))
+        if self._prof is not None:
+            self._prof.add("ACT", perf_counter() - start)
 
     def _hammer_batch(self, batch: ActBatch) -> None:
         self._tick()
@@ -215,6 +236,7 @@ class SoftMCHost:
     def hammer_multi(self, per_bank: Mapping[int, Iterable[tuple[int, int]]],
                      mode: HammerMode = HammerMode.CASCADED) -> None:
         """Hammer several banks in parallel (at most 4: tFAW)."""
+        start = perf_counter() if self._prof is not None else 0.0
         batches = [
             ActBatch(bank=bank,
                      pattern=tuple((row, count) for row, count in rows),
@@ -229,6 +251,8 @@ class SoftMCHost:
             self._count_acts(batch.bank, batch.total)
         self._tick()
         self._chip.hammer_multi(batches)
+        if self._prof is not None:
+            self._prof.add("ACT", perf_counter() - start)
 
     # -- refresh and time -----------------------------------------------------
 
@@ -239,6 +263,7 @@ class SoftMCHost:
         standard memory controller would; otherwise they are issued
         back-to-back (each still occupying tRFC).
         """
+        start = perf_counter() if self._prof is not None else 0.0
         spacing = self.timing.trefi_ps if at_nominal_rate else None
         if self._rec is not None:
             self._rec.on_ref(self._chip.now_ps, self.ref_count, count,
@@ -254,6 +279,8 @@ class SoftMCHost:
         else:
             self._chip.refresh(count=count, spacing_ps=spacing)
         self.ref_count += count
+        if self._prof is not None:
+            self._prof.add("REF", perf_counter() - start)
 
     def _refresh_faulty(self, count: int, spacing: int | None) -> None:
         """Issue REFs one at a time so each can be dropped or duplicated.
@@ -277,10 +304,13 @@ class SoftMCHost:
 
     def wait(self, duration_ps: int) -> None:
         """Idle without issuing any command (refresh stays disabled)."""
+        start = perf_counter() if self._prof is not None else 0.0
         if self._rec is not None:
             self._rec.on_wait(self._chip.now_ps, duration_ps)
         self._chip.wait(duration_ps)
         self._tick()
+        if self._prof is not None:
+            self._prof.add("WAIT", perf_counter() - start)
 
     def wait_us(self, duration_us: float) -> None:
         self.wait(us(duration_us))

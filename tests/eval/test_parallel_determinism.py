@@ -70,6 +70,31 @@ def test_resilience_parallel_byte_identical_under_faults():
         assert par_mod.manifest == seq_mod.manifest
 
 
+def test_fig8_byte_identical_with_telemetry_enabled(tmp_path):
+    """Live telemetry is a pure side channel: artifact bytes and the
+    folded metrics are unchanged by enabling it, sequential or pooled."""
+    from repro.obs import MetricsRegistry, TelemetryConfig, read_spool
+
+    sweeps = ["A5"]
+    plain = run_fig8_many(sweeps, TINY)
+    rendered = {}
+    registries = {}
+    for workers in (1, 2):
+        telemetry = TelemetryConfig(
+            spool=str(tmp_path / f"w{workers}"), run_id="determinism",
+            interval_s=0.05)
+        registries[workers] = MetricsRegistry()
+        results = run_fig8_many(sweeps, TINY, workers=workers,
+                                metrics=registries[workers],
+                                telemetry=telemetry)
+        rendered[workers] = [r.render() for r in results]
+        kinds = [e["kind"] for e in read_spool(telemetry.spool)]
+        assert "unit-done" in kinds  # the side channel did run
+    assert rendered[1] == [r.render() for r in plain]
+    assert rendered[2] == rendered[1]
+    assert registries[1].as_dict() == registries[2].as_dict()
+
+
 def test_cli_workers_flag_keeps_stdout_byte_stable(capsys):
     args = ["fig9", "--modules", "B0", "--scale", "quick", "--quiet"]
     assert eval_main([*args, "--workers", "1"]) == 0
@@ -78,3 +103,28 @@ def test_cli_workers_flag_keeps_stdout_byte_stable(capsys):
     parallel = capsys.readouterr().out
     assert parallel == sequential
     assert "B0" in sequential
+
+
+def test_cli_telemetry_and_profile_leave_stdout_untouched(tmp_path,
+                                                          capsys):
+    from repro.obs import read_spool
+
+    args = ["fig9", "--modules", "B0", "--scale", "quick", "--quiet",
+            "--workers", "1"]
+    assert eval_main(args) == 0
+    plain = capsys.readouterr().out
+    spool = tmp_path / "spool"
+    assert eval_main([*args, "--telemetry", str(spool),
+                      "--telemetry-interval", "0.05", "--profile"]) == 0
+    observed = capsys.readouterr().out
+    assert observed == plain
+    kinds = [e["kind"] for e in read_spool(spool)]
+    assert "run-start" in kinds and "unit-done" in kinds
+
+
+def test_cli_stall_deadline_requires_telemetry(capsys):
+    with pytest.raises(SystemExit):
+        eval_main(["fig9", "--modules", "B0", "--scale", "quick",
+                   "--quiet", "--stall-deadline", "5"])
+    assert "--stall-deadline requires --telemetry" in \
+        capsys.readouterr().err

@@ -26,3 +26,20 @@ def test_module_recovers_under_default_faults(module_id):
         "fault-vrt", "fault-temp", "fault-readnoise", "fault-commands",
         "fault-stale"}
     assert manifest["recovery_counters"] == result.recovery
+
+
+def test_report_names_stalled_chaos_runs():
+    """Watchdog-flagged modules render as STALLED lines (off by
+    default: the field only fills when a stall deadline is armed)."""
+    from repro.eval.resilience import ResilienceReport
+
+    report = ResilienceReport(modules=[])
+    assert "STALLED" not in report.render()
+    report = ResilienceReport(
+        modules=[],
+        stalled=[("A5", "resilience/A5: no progress for 12.0s "
+                        "(last event heartbeat in span 'scout')")])
+    rendered = report.render()
+    assert rendered.endswith("STALLED A5: resilience/A5: no progress "
+                             "for 12.0s (last event heartbeat in span "
+                             "'scout')")

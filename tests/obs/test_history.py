@@ -67,6 +67,31 @@ def test_record_and_rows_round_trip(tmp_path):
     assert store.kinds() == ["eval.fig9", "eval.table1"]
 
 
+def test_record_profile_and_gate_per_opcode_regressions(tmp_path):
+    from repro.obs import CommandProfiler
+
+    profiler = CommandProfiler()
+    profiler.add("ACT", 1.5)
+    profiler.add("RD", 0.25)
+    store = RunHistory(tmp_path / "runs.jsonl")
+    row = store.record("bench.profile", profile=profiler, wall_s=2.0)
+    assert row["profile"] == {"ACT": 1.5, "RD": 0.25}
+    # A plain {name: seconds} dict records the same way; empty
+    # profiles are omitted entirely.
+    assert store.record("x", profile={"ACT": 1.0})["profile"] == \
+        {"ACT": 1.0}
+    assert "profile" not in store.record("y", profile=CommandProfiler())
+
+    def _prow(act):
+        return {"schema": 1, "kind": "bench.profile",
+                "profile": {"ACT": act}, "wall_s": 1.0}
+
+    # Opcode wall time gates slower-only, like spans.
+    flags = gate([_prow(1.0), _prow(1.0), _prow(2.0)])
+    assert [flag.metric for flag in flags] == ["profile:ACT"]
+    assert gate([_prow(1.0), _prow(1.0), _prow(0.2)]) == []
+
+
 def test_rows_raise_on_corrupt_line(tmp_path):
     path = tmp_path / "runs.jsonl"
     path.write_text('{"schema":1,"kind":"x"}\nnot json\n',

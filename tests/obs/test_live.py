@@ -1,0 +1,226 @@
+"""Live telemetry spool: transport, progress, timeline, watchdog.
+
+These tests exercise the coordinator-facing half of the live layer
+without a process pool: sinks write JSONL events into a spool directory
+and the pure readers (:func:`progress`, :func:`assemble_timeline`,
+:class:`Watchdog`, :func:`pool_breakdown`) summarize them.  The
+engine-integration half lives in ``tests/parallel/test_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (MetricsRegistry, SpanTracker, TelemetryConfig,
+                       aggregate_metrics, assemble_timeline, read_spool)
+from repro.obs.live import (NullTelemetrySink, TelemetrySink,
+                            TraceContext, Watchdog, pool_breakdown,
+                            progress, render_progress, spool_filename)
+
+
+def test_spool_filename_is_safe_and_collision_tagged():
+    assert spool_filename(None) == "_coordinator.jsonl"
+    name = spool_filename("fig8/B8:x2")
+    assert "/" not in name and ":" not in name
+    assert name.startswith("fig8__B8__x2-")
+    # Same sanitized stem, different unit → different crc tag.
+    assert spool_filename("fig8/B8.x2") != name
+
+
+def test_sink_stamps_context_and_sequences(tmp_path):
+    sink = TelemetrySink(tmp_path, TraceContext("run7", "fig8/B8"))
+    first = sink.publish("unit-start", pid=1234)
+    second = sink.publish("heartbeat", commands=10)
+    assert (first["run"], first["unit"]) == ("run7", "fig8/B8")
+    assert first["pid"] == 1234
+    assert (first["seq"], second["seq"]) == (0, 1)
+    events = read_spool(tmp_path)
+    assert [e["kind"] for e in events] == ["unit-start", "heartbeat"]
+
+
+def test_heartbeat_rate_limit_and_snapshot_fields(tmp_path):
+    metrics = MetricsRegistry()
+    metrics.inc("host.acts", 640)
+    metrics.inc("host.refs", 8)
+    spans = SpanTracker()
+    sink = TelemetrySink(tmp_path, TraceContext("run", "u"),
+                         min_interval_s=60.0)
+    with spans.span("scout"):
+        assert sink.heartbeat(metrics, spans) is True
+        # Inside the rate-limit window the event is suppressed.
+        assert sink.heartbeat(metrics, spans) is False
+    events = read_spool(tmp_path)
+    assert len(events) == 1
+    beat = events[0]
+    assert beat["commands"] == 648
+    assert beat["counters"]["host.acts"] == 640
+    assert beat["span"] == "scout"
+
+
+def test_null_sink_is_inert():
+    sink = NullTelemetrySink()
+    assert sink.enabled is False
+    assert sink.publish("unit-start") == {}
+    assert sink.heartbeat() is False
+
+
+def test_telemetry_config_builds_sinks(tmp_path):
+    config = TelemetryConfig(spool=str(tmp_path), run_id="eval.fig8",
+                             interval_s=2.0)
+    sink = config.sink("fig8/B8")
+    assert sink.context == TraceContext("eval.fig8", "fig8/B8")
+    assert sink.min_interval_s == 1.0
+    coordinator = config.sink()
+    assert coordinator.path.name == "_coordinator.jsonl"
+
+
+def test_read_spool_skips_corrupt_tail_and_foreign_files(tmp_path):
+    sink = TelemetrySink(tmp_path, TraceContext("run", "a"))
+    sink.publish("unit-start")
+    sink.publish("unit-done", wall_s=1.0)
+    # A worker died mid-write: truncated JSON on the tail.
+    with open(sink.path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "heartbe')
+    (tmp_path / "notes.txt").write_text("not telemetry")
+    (tmp_path / "list.jsonl").write_text('["not", "a", "dict"]\n')
+    events = read_spool(tmp_path)
+    assert [e["kind"] for e in events] == ["unit-start", "unit-done"]
+    assert read_spool(tmp_path / "missing") == []
+
+
+def _spool_events(tmp_path):
+    """A small synthetic run: one done unit, one mid-flight."""
+    coordinator = TelemetrySink(tmp_path, TraceContext("run"))
+    coordinator.publish("run-start", units_total=3, workers=2)
+    done = TelemetrySink(tmp_path, TraceContext("run", "t/a"))
+    done.publish("unit-start")
+    done.publish("unit-done", wall_s=4.0, commands=100)
+    live = TelemetrySink(tmp_path, TraceContext("run", "t/b"))
+    event = live.publish("unit-start")
+    live.publish("heartbeat", commands=40, span="scout")
+    return read_spool(tmp_path), event["ts"]
+
+
+def test_progress_counts_eta_and_running_spans(tmp_path):
+    events, started_ts = _spool_events(tmp_path)
+    summary = progress(events, now=started_ts + 2.0)
+    assert summary["run"] == "run"
+    assert summary["units_total"] == 3
+    assert summary["units_done"] == 1
+    assert summary["unit_walls"] == {"t/a": 4.0}
+    assert summary["commands"] == 140
+    running = summary["units_running"]["t/b"]
+    assert running["span"] == "scout"
+    assert running["commands"] == 40
+    assert running["age_s"] >= 0
+    # 2 remaining at mean wall 4.0s over 2 workers → 4s.
+    assert summary["eta_s"] == 4.0
+    text = render_progress(summary)
+    assert "1/3 units done" in text
+    assert "running t/b" in text and "span=scout" in text
+
+
+def test_progress_flags_failed_units(tmp_path):
+    sink = TelemetrySink(tmp_path, TraceContext("run", "t/bad"))
+    sink.publish("unit-start")
+    sink.publish("unit-done", wall_s=0.5, error="BrokenChip: bank 3")
+    summary = progress(read_spool(tmp_path))
+    assert summary["units_failed"] == ["t/bad"]
+    assert "FAILED t/bad" in render_progress(summary)
+
+
+def test_aggregate_metrics_folds_done_and_inflight(tmp_path):
+    finished = MetricsRegistry()
+    finished.inc("host.acts", 1000)
+    done = TelemetrySink(tmp_path, TraceContext("run", "t/a"))
+    done.publish("unit-done", metrics=finished.as_dict())
+    live = TelemetrySink(tmp_path, TraceContext("run", "t/b"))
+    live.publish("heartbeat", counters={"host.acts": 250})
+    live.publish("heartbeat", counters={"host.acts": 300})
+    folded = aggregate_metrics(read_spool(tmp_path))
+    # Done units contribute final metrics; running ones their newest
+    # heartbeat counters — never both, never a stale snapshot.
+    assert folded.counter("host.acts") == 1300
+
+
+def test_assemble_timeline_rebases_onto_shared_origin(tmp_path):
+    early = TelemetrySink(tmp_path, TraceContext("run", "t/a"))
+    early.publish("unit-done", origin_ts=100.0, spans=[
+        {"name": "scout", "start_s": 0.0, "end_s": 2.0}])
+    late = TelemetrySink(tmp_path, TraceContext("run", "t/b"))
+    late.publish("unit-done", origin_ts=101.5, spans=[
+        {"name": "scout", "start_s": 0.0, "end_s": 1.0},
+        {"name": "infer", "start_s": 1.0, "end_s": None}])
+    timeline = assemble_timeline(read_spool(tmp_path))
+    assert [(s["unit"], s["name"], s["start_s"]) for s in timeline] == [
+        ("t/a", "scout", 0.0), ("t/b", "scout", 1.5),
+        ("t/b", "infer", 2.5)]
+    assert timeline[1]["end_s"] == 2.5
+    assert timeline[2]["end_s"] is None
+    assert assemble_timeline([]) == []
+
+
+class TestWatchdog:
+    def _unit(self, unit, events):
+        sink = TelemetrySink(events, TraceContext("run", unit))
+        return sink
+
+    def test_flags_unit_whose_commands_stopped(self, tmp_path):
+        sink = self._unit("t/stuck", tmp_path)
+        started = sink.publish("unit-start")["ts"]
+        sink.publish("heartbeat", commands=50, span="neighbor-scan")
+        sink.publish("heartbeat", commands=50)
+        sink.publish("heartbeat", commands=50)
+        events = read_spool(tmp_path)
+        # The last command *advance* was at unit-start time; scanning
+        # far past the deadline must flag the unit even though later
+        # heartbeats kept arriving (alive-but-wedged).
+        now = started + 100.0
+        stalls = Watchdog(deadline_s=30.0).scan(events, now=now)
+        assert [s.unit_id for s in stalls] == ["t/stuck"]
+        stall = stalls[0]
+        assert stall.span == "neighbor-scan"
+        assert stall.age_s > 30.0
+        assert "t/stuck" in stall.describe()
+        assert "neighbor-scan" in stall.describe()
+
+    def test_advancing_commands_reset_the_clock(self, tmp_path):
+        sink = self._unit("t/busy", tmp_path)
+        sink.publish("unit-start")
+        sink.publish("heartbeat", commands=10)
+        events = read_spool(tmp_path)
+        # Fresh progress: the newest advancing event is recent.
+        recent = events[-1]["ts"] + 1.0
+        assert Watchdog(deadline_s=30.0).scan(events, now=recent) == []
+
+    def test_done_units_are_never_stalled(self, tmp_path):
+        sink = self._unit("t/done", tmp_path)
+        started = sink.publish("unit-start")["ts"]
+        sink.publish("unit-done", wall_s=1.0, commands=100)
+        events = read_spool(tmp_path)
+        watchdog = Watchdog(deadline_s=1.0)
+        assert watchdog.scan(events, now=started + 1000.0) == []
+
+
+def test_pool_breakdown_attributes_overhead(tmp_path):
+    for unit, wall in (("t/a", 4.0), ("t/b", 1.0), ("t/c", 2.0),
+                       ("t/d", 0.5)):
+        sink = TelemetrySink(tmp_path, TraceContext("run", unit))
+        sink.publish("unit-done", wall_s=wall)
+    breakdown = pool_breakdown(read_spool(tmp_path), pool_wall_s=5.0)
+    assert breakdown["sum_unit_s"] == 7.5
+    assert breakdown["max_unit_s"] == 4.0
+    assert breakdown["overhead_s"] == 1.0
+    assert [s["unit"] for s in breakdown["stragglers"]] == \
+        ["t/a", "t/c", "t/b"]
+    assert pool_breakdown([]) == {"unit_walls": {}, "stragglers": []}
+
+
+def test_events_are_one_json_object_per_line(tmp_path):
+    sink = TelemetrySink(tmp_path, TraceContext("run", "t/a"))
+    sink.publish("unit-start")
+    sink.publish("heartbeat", commands=1)
+    lines = sink.path.read_text().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        assert isinstance(json.loads(line), dict)

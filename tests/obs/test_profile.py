@@ -1,0 +1,175 @@
+"""Command-bus profiler: per-opcode attribution and the stack sampler.
+
+The conftest ``drive()`` workload issues a fixed command mix — 3 ACT,
+2 RD, 2 REF, 1 WR, 1 WAIT — so opcode *counts* are exact assertions;
+seconds are only checked for shape (positive, summing to ``total_s``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import (CollapsedStackSampler, CommandProfiler,
+                       NullProfiler, Observability, SpanTracker,
+                       profile_report)
+
+from .conftest import drive, small_host
+
+#: drive()'s command mix, by opcode (one profiler sample per host call).
+DRIVE_COUNTS = {"ACT": 3, "RD": 2, "REF": 2, "WAIT": 1, "WR": 1}
+
+
+def test_host_attributes_every_command_type():
+    profiler = CommandProfiler()
+    host = small_host(obs=Observability(profiler=profiler))
+    drive(host)
+    assert profiler.counts == DRIVE_COUNTS
+    assert profiler.commands == 9
+    assert all(seconds > 0 for seconds in profiler.seconds.values())
+    assert abs(profiler.total_s
+               - sum(profiler.seconds.values())) < 1e-12
+
+
+def test_host_profile_covers_measured_wall():
+    """Opcode seconds must explain most of the host-call wall time."""
+    profiler = CommandProfiler()
+    host = small_host(obs=Observability(profiler=profiler))
+    started = time.perf_counter()
+    for _ in range(20):
+        drive(host)
+    wall = time.perf_counter() - started
+    # Everything between perf_counter reads is host work; the only
+    # unattributed time is the Python call glue around each bracket.
+    assert profiler.total_s <= wall
+    assert profiler.total_s >= 0.5 * wall
+
+
+def test_stage_attribution_follows_open_span():
+    spans = SpanTracker()
+    profiler = CommandProfiler(spans=spans)
+    host = small_host(obs=Observability(spans=spans, profiler=profiler))
+    with spans.span("scout"):
+        host.hammer_single(0, 100, 5)
+        with spans.span("verify"):
+            host.read_row(0, 100)
+    host.refresh(1)  # outside any span: opcode-only attribution
+    assert set(profiler.stages) == {"scout", "verify"}
+    assert set(profiler.stages["scout"]) == {"ACT"}
+    assert set(profiler.stages["verify"]) == {"RD"}
+    assert profiler.counts["REF"] == 1
+
+
+def test_profiler_merge_folds_dumps_and_instances():
+    left = CommandProfiler()
+    left.add("ACT", 0.25)
+    left.add("RD", 0.5)
+    right = CommandProfiler(spans=None)
+    right.add("ACT", 0.75)
+    left.merge(right)            # instance form
+    left.merge(right.as_dict())  # dict form (what pool workers ship)
+    assert left.counts == {"ACT": 3, "RD": 1}
+    assert abs(left.seconds["ACT"] - 1.75) < 1e-9
+    left.merge(NullProfiler())   # disabled profilers fold to nothing
+    assert left.commands == 4
+
+
+def test_profiler_merge_folds_stage_breakdowns():
+    spans = SpanTracker()
+    worker = CommandProfiler(spans=spans)
+    with spans.span("scout"):
+        worker.add("ACT", 0.1)
+    folded = CommandProfiler()
+    folded.merge(worker.as_dict())
+    folded.merge(worker.as_dict())
+    assert abs(folded.stages["scout"]["ACT"] - 0.2) < 1e-9
+
+
+def test_as_span_clocks_shape_for_history_gating():
+    profiler = CommandProfiler()
+    profiler.add("ACT", 1.5)
+    profiler.add("WAIT", 0.125)
+    assert profiler.as_span_clocks() == {"opcode:ACT": 1.5,
+                                         "opcode:WAIT": 0.125}
+    assert profiler.as_span_clocks(prefix="op/") == {"op/ACT": 1.5,
+                                                     "op/WAIT": 0.125}
+
+
+def test_render_table_and_coverage():
+    profiler = CommandProfiler()
+    profiler.add("ACT", 3.0)
+    profiler.add("RD", 1.0)
+    text = profiler.render(wall_s=5.0)
+    lines = text.splitlines()
+    # Canonical opcode order, totals row, coverage footer.
+    assert lines[1].split()[0] == "ACT"
+    assert lines[2].split()[0] == "RD"
+    assert "total" in lines[3]
+    assert "coverage: 80.0% of 5.000s" in lines[4]
+    assert CommandProfiler().render() == "  (no commands profiled)"
+
+
+def test_render_stages_orders_by_cost():
+    spans = SpanTracker()
+    profiler = CommandProfiler(spans=spans)
+    with spans.span("cheap"):
+        profiler.add("RD", 0.1)
+    with spans.span("dear"):
+        profiler.add("ACT", 2.0)
+    lines = profiler.render_stages().splitlines()
+    assert lines[0].split()[0] == "dear"
+    assert lines[1].split()[0] == "cheap"
+
+
+def test_null_profiler_is_inert_and_cheap():
+    profiler = NullProfiler()
+    profiler.add("ACT", 1.0)
+    assert profiler.as_dict()["commands"] == 0
+    assert profiler.as_span_clocks() == {}
+    assert "disabled" in profiler.render()
+    # A host built with the null profiler resolves to the no-op branch.
+    host = small_host(obs=Observability(profiler=profiler))
+    assert host._prof is None
+    drive(host)
+
+
+def test_profile_report_adds_wall_and_coverage():
+    profiler = CommandProfiler()
+    profiler.add("ACT", 1.0)
+    report = profile_report(profiler, wall_s=4.0)
+    assert report["wall_s"] == 4.0
+    assert report["coverage"] == 0.25
+    assert report["counts"] == {"ACT": 1}
+    assert "coverage" not in profile_report(profiler)
+
+
+def _busy_loop(deadline_s: float) -> int:
+    total = 0
+    deadline = time.perf_counter() + deadline_s
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+def test_stack_sampler_collects_collapsed_stacks():
+    with CollapsedStackSampler(interval_s=0.001) as sampler:
+        _busy_loop(0.2)
+    assert sampler.total_samples > 0
+    rendered = sampler.render()
+    assert "_busy_loop" in rendered
+    line = rendered.splitlines()[0]
+    stack, count = line.rsplit(" ", 1)
+    assert int(count) >= 1
+    assert ";" in stack  # root-to-leaf frames joined by semicolons
+
+
+def test_stack_sampler_write(tmp_path):
+    sampler = CollapsedStackSampler(interval_s=0.001)
+    with sampler:
+        _busy_loop(0.05)
+    out = tmp_path / "profile.stacks.txt"
+    sampler.write(out)
+    text = out.read_text()
+    assert text == "" or text.endswith("\n")
+    empty = CollapsedStackSampler()
+    empty.write(out)
+    assert out.read_text() == ""

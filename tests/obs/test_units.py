@@ -171,6 +171,26 @@ def test_structured_log_formatting():
     assert lines[1] == "event=retry level=warning count=3"
 
 
+def test_structured_log_elapsed_stamp_is_monotonic():
+    stream = io.StringIO()
+    ticks = iter([10.0, 10.025, 11.5])  # construction, then two emits
+    log = StructuredLog(stream=stream, elapsed=True,
+                        clock=lambda: next(ticks))
+    log.info("run-start", scale="quick")
+    log.info("run-done", seconds=1.475)
+    lines = stream.getvalue().splitlines()
+    assert lines[0] == ("event=run-start level=info elapsed_ms=25 "
+                        "scale=quick")
+    assert lines[1] == ("event=run-done level=info elapsed_ms=1500 "
+                        "seconds=1.475")
+
+
+def test_structured_log_elapsed_off_by_default():
+    stream = io.StringIO()
+    StructuredLog(stream=stream).info("run-start")
+    assert "elapsed_ms" not in stream.getvalue()
+
+
 def test_structured_log_quiet_is_silent():
     stream = io.StringIO()
     log = StructuredLog(stream=stream, enabled=False)
