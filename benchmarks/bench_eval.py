@@ -9,15 +9,21 @@ PRs are measured, not asserted:
   reimplementation of the pre-vectorization per-cell dict loop (kept
   here, frozen, as the comparison baseline).  The first pass asserts
   both implementations commit the identical fault overlay.
+* **payload** — the command bus.  Commands per second through the
+  compiled-payload batch executor (``repro.program``) versus the
+  per-command reference interpreter, for a fusible hammer-heavy shape
+  and a fusion-free scan-heavy shape.  The first pass asserts the
+  compiled ledger matches the per-command one.
 * **figures / eval** — wall-clock per paper artifact (Figures 8, 9, 10)
   at ``quick`` scale, sequential (``--workers 1``) versus the
   ``repro.parallel`` process pool, plus modules evaluated per second.
 
 Regression checking (``--check baseline.json``) compares the
-**vectorized-over-legacy speedup ratio**, not absolute cells/sec:
-the ratio is a property of the code, so a baseline committed from one
-machine remains meaningful on CI runners with different clock speeds.
-Absolute numbers are still recorded for humans reading the JSON.
+**speedup ratios** (vectorized-over-legacy, compiled-over-per-command),
+not absolute rates: a ratio is a property of the code, so a baseline
+committed from one machine remains meaningful on CI runners with
+different clock speeds.  Absolute numbers are still recorded for
+humans reading the JSON.
 
 Usage::
 
@@ -42,7 +48,8 @@ except ImportError:  # running from a checkout without pip install -e .
 
 import numpy as np
 
-from repro.dram import (AllOnes, DisturbanceConfig, RetentionConfig)
+from repro.dram import (AllOnes, DeviceConfig, DisturbanceConfig, DramChip,
+                        HammerMode, RetentionConfig)
 from repro.dram.bank import Bank
 from repro.dram.refresh import RefreshEngine
 from repro.eval import get_scale, run_fig8_many, run_fig9, run_fig10
@@ -53,6 +60,7 @@ from repro.obs import (CollapsedStackSampler, CommandProfiler,
 from repro.obs.live import pool_breakdown, read_spool
 from repro.parallel import default_workers
 from repro.rng import SeedSequenceFactory
+from repro.softmc import SoftMCHost, SoftMCProgram
 
 DEFAULT_MODULES = ("A5", "B0", "C7")
 
@@ -275,6 +283,107 @@ def bench_settle(rows: int = 24, row_bits: int = 65536,
     }
 
 
+# -- compiled-payload microbenchmark ---------------------------------------
+
+def _payload_host() -> SoftMCHost:
+    """A TRR-free chip: the fused executor's best case (and the only
+    mechanism for which ACT-run fusion is provably exact)."""
+    config = DeviceConfig(
+        name="bench-payload", rows_per_bank=4096, refresh_cycle_refs=2048,
+        retention=RetentionConfig(weak_cells_per_row_mean=2.0,
+                                  vrt_fraction=0.0),
+        disturbance=DisturbanceConfig(hc_first=50_000))
+    return SoftMCHost(DramChip(config))
+
+
+def _hammer_heavy_program() -> SoftMCProgram:
+    """100 REF intervals of 60 identical double-sided hammer commands —
+    the sustained-pressure shape attack windows produce (e.g. vendor-B
+    dummy pressure), and the executor's fusible best case."""
+    body = SoftMCProgram()
+    for _ in range(60):
+        body.hammer(0, ((1000, 4), (1002, 4)), HammerMode.INTERLEAVED)
+    body.refresh(1)
+    return SoftMCProgram().loop(100, body)
+
+
+def _scan_heavy_program() -> SoftMCProgram:
+    """Write/wait/check retention passes (the Row Scout shape): no ACT
+    runs to fuse, so this measures raw interpreter overhead."""
+    program = SoftMCProgram()
+    rows = range(1000, 1040)
+    for round_index in range(10):
+        for row in rows:
+            program.write(0, row, AllOnes())
+        program.wait(int(64e9))
+        for row in rows:
+            program.check(0, row, label=f"r{round_index}:{row}")
+    return program
+
+
+def _ledger(host: SoftMCHost, result) -> tuple:
+    chip = host._chip
+    return (host.now_ps, host.ref_count,
+            tuple(sorted(host.acts_per_bank.items())),
+            chip.stats.activates, chip.stats.refreshes,
+            tuple(sorted((label, tuple(positions))
+                         for label, positions in result.mismatches.items())))
+
+
+def bench_payload(repeats: int = 3) -> dict:
+    """Commands/sec, per-command interpreter vs compiled batch executor.
+
+    Two program shapes are timed: **hammer-heavy** (where consecutive
+    identical ACT commands fuse into closed-form multi-command settles)
+    and **scan-heavy** (no fusible runs; measures dispatch overhead
+    only).  The first pass asserts the compiled run's ledger — clock,
+    REF/ACT counters, chip stats, read-back mismatches — matches the
+    per-command reference before any timing is trusted.  The headline
+    ``speedup`` (gated in ``--check``) is the hammer-heavy one.
+    """
+    shapes = {"hammer": _hammer_heavy_program(),
+              "scan": _scan_heavy_program()}
+    results = {}
+    for name, program in shapes.items():
+        reference_host = _payload_host()
+        reference = _ledger(reference_host,
+                            program.run(reference_host, compiled=False))
+        payload = program.compile(reference_host.timing)
+        for fuse in (False, True):
+            host = _payload_host()
+            got = _ledger(host, host.execute_payload(payload, fuse=fuse))
+            if got != reference:
+                raise AssertionError(
+                    f"compiled {name} payload (fuse={fuse}) diverged "
+                    f"from the per-command reference")
+
+        def timed(run_once) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                host = _payload_host()
+                start = time.perf_counter()
+                run_once(host)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        legacy = timed(lambda host: program.run(host, compiled=False))
+        compiled = timed(
+            lambda host: host.execute_payload(
+                program.compile(host.timing), fuse=True))
+        commands = len(payload)
+        results[name] = {
+            "commands": commands,
+            "acts": payload.total_acts(),
+            "per_command_seconds": round(legacy, 6),
+            "compiled_seconds": round(compiled, 6),
+            "per_command_cmds_per_sec": round(commands / legacy, 1),
+            "compiled_cmds_per_sec": round(commands / compiled, 1),
+            "speedup": round(legacy / compiled, 3),
+        }
+    results["speedup"] = results["hammer"]["speedup"]
+    return results
+
+
 # -- figure wall-clock -----------------------------------------------------
 
 def _timed(fn) -> tuple[float, object]:
@@ -357,6 +466,15 @@ def run_benchmarks(modules: list[str], scale_name: str, workers: int,
     print(f"[bench]   {settle['vectorized_cells_per_sec']:,.0f} cells/s "
           f"vectorized vs {settle['legacy_cells_per_sec']:,.0f} legacy "
           f"({settle['speedup']:.1f}x)", flush=True)
+    print("[bench] compiled-payload microbenchmark "
+          "(batch executor vs per-command) ...", flush=True)
+    payload = bench_payload()
+    for shape in ("hammer", "scan"):
+        numbers = payload[shape]
+        print(f"[bench]   {shape}: "
+              f"{numbers['compiled_cmds_per_sec']:,.0f} cmds/s compiled "
+              f"vs {numbers['per_command_cmds_per_sec']:,.0f} "
+              f"per-command ({numbers['speedup']:.1f}x)", flush=True)
     print(f"[bench] figures at scale={scale_name} "
           f"modules={','.join(modules)} workers={workers} ...", flush=True)
     figures = bench_figures(modules, scale, workers)
@@ -371,6 +489,7 @@ def run_benchmarks(modules: list[str], scale_name: str, workers: int,
         "modules": list(modules),
         "workers": workers,
         "settle": settle,
+        "payload": payload,
         "figures": figures,
         "eval": {
             "modules_per_sec_sequential": round(
@@ -400,9 +519,11 @@ def check_regression(current: dict, baseline_path: pathlib.Path,
                      tolerance: float) -> list[str]:
     """Machine-independent regression check against a committed baseline.
 
-    Only the settle speedup *ratio* is gated: it compares two code paths
-    on the same machine, so it transfers across runners.  Absolute
-    wall-clock numbers in the baseline are informational.
+    Only speedup *ratios* are gated — settle (vectorized vs legacy
+    loop) and payload (compiled executor vs per-command interpreter,
+    hammer-heavy shape): each compares two code paths on the same
+    machine, so it transfers across runners.  Absolute wall-clock
+    numbers in the baseline are informational.
     """
     baseline = json.loads(baseline_path.read_text())
     failures = []
@@ -417,6 +538,22 @@ def check_regression(current: dict, baseline_path: pathlib.Path,
     if current_speedup < 5.0:
         failures.append(
             f"settle speedup below the 5x floor: {current_speedup:.2f}x")
+    current_payload = current.get("payload", {}).get("hammer", {})
+    baseline_payload = baseline.get("payload", {}).get("hammer", {})
+    payload_speedup = current_payload.get("speedup")
+    if payload_speedup is not None:
+        payload_baseline = baseline_payload.get("speedup")
+        if payload_baseline is not None:
+            payload_floor = payload_baseline * (1.0 - tolerance)
+            if payload_speedup < payload_floor:
+                failures.append(
+                    f"payload speedup regressed: {payload_speedup:.2f}x < "
+                    f"{payload_floor:.2f}x ({payload_baseline:.2f}x "
+                    f"baseline - {tolerance:.0%} tolerance)")
+        if payload_speedup < 5.0:
+            failures.append(
+                f"payload (hammer) speedup below the 5x floor: "
+                f"{payload_speedup:.2f}x")
     return failures
 
 

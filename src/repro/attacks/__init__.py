@@ -1,6 +1,7 @@
 """RowHammer access patterns: classic baselines and §7.1 custom attacks."""
 
 from .base import AccessPattern, AttackContext, default_context
+from .capture import CaptureUnsupported, capture_window
 from .classic import DoubleSidedPattern, ManySidedPattern, SingleSidedPattern
 from .executor import AttackExecutor, AttackResult
 from .session import AttackSession
@@ -18,6 +19,8 @@ __all__ = [
     "AttackExecutor",
     "AttackResult",
     "AttackSession",
+    "CaptureUnsupported",
+    "capture_window",
     "DoubleSidedPattern",
     "HammerSweepResult",
     "ManySidedPattern",

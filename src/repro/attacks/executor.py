@@ -14,8 +14,10 @@ from ..dram.mapping import RowMapping
 from ..dram.patterns import AllOnes, DataPattern, inverted
 from ..errors import AttackConfigError
 from ..obs import NULL_OBS, Observability
+from ..program import compile_program, payloads_enabled
 from ..softmc import SoftMCHost
 from .base import AccessPattern, AttackContext
+from .capture import CaptureUnsupported, capture_window
 from .session import AttackSession
 
 
@@ -43,11 +45,17 @@ class AttackExecutor:
 
     def __init__(self, host: SoftMCHost, mapping: RowMapping,
                  victim_pattern: DataPattern | None = None,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 use_payloads: bool | None = None) -> None:
         self._host = host
         self._mapping = mapping
         self._victim_pattern = victim_pattern or AllOnes()
         self._obs = obs or getattr(host, "obs", None) or NULL_OBS
+        #: Capture each pattern window into a compiled payload and
+        #: replay it in one batch (byte-identical command stream);
+        #: defaults to the process-wide ``REPRO_PAYLOAD`` setting.
+        self._use_payloads = (payloads_enabled() if use_payloads is None
+                              else use_payloads)
 
     def run(self, pattern: AccessPattern, context: AttackContext,
             windows: int,
@@ -74,7 +82,16 @@ class AttackExecutor:
         with self._obs.span("attack.run", pattern=pattern.name,
                             windows=windows):
             session.align_to_period()
+            live = not self._use_payloads
             for _ in range(windows):
+                if not live:
+                    try:
+                        self._replay_window(pattern, session, context)
+                        continue
+                    except CaptureUnsupported:
+                        # Capture has no side effects on the real host,
+                        # so the same window can run live instead.
+                        live = True
                 pattern.run_window(session, context)
 
         flips = {
@@ -92,3 +109,14 @@ class AttackExecutor:
         metrics.inc("attack.acts_issued", result.acts_issued)
         metrics.observe("attack.flips_per_run", result.total_flips)
         return result
+
+    def _replay_window(self, pattern: AccessPattern, session: AttackSession,
+                       context: AttackContext) -> None:
+        """Capture one window's command stream, replay it compiled."""
+        program, vsession = capture_window(pattern, session, context)
+        with self._obs.span("payload.compile",
+                            instructions=len(program.instructions)):
+            payload = compile_program(program.instructions,
+                                      self._host.timing)
+        self._host.execute_payload(payload)
+        session.adopt(vsession)

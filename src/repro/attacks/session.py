@@ -38,6 +38,18 @@ class AttackSession:
         self.refs_issued = 0
         self.acts_issued = 0
 
+    def adopt(self, other: "AttackSession") -> None:
+        """Take over *other*'s budget counters.
+
+        Used by the capture/replay executor: the virtual session is
+        seeded from the live one before a window is captured, and the
+        live session adopts the virtual end state once the recorded
+        window has been replayed on the real host.
+        """
+        self.refs_issued = other.refs_issued
+        self.acts_issued = other.acts_issued
+        self._used_ps = other._used_ps
+
     # -- REF pacing -----------------------------------------------------------
 
     @property

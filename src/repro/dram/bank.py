@@ -329,6 +329,116 @@ class Bank:
                     victim_state = self.state(victim)
                 victim_state.disturbance += eff_acts * weight
 
+    def _steady_effective(self, batch: ActBatch) -> dict[int, float]:
+        """Per-aggressor effective counts of *batch* when it follows an
+        identical copy of itself (the cascade-continuity steady state)."""
+        effective = self.disturbance_config.effective_acts(batch)
+        first_row = batch.row_at(0)
+        if (first_row == batch.row_at(batch.total - 1)
+                and effective.get(first_row)):
+            effective[first_row] -= (
+                1.0 - self.disturbance_config.cascade_weight)
+        return effective
+
+    def fusion_safe(self, batch: ActBatch, step_ps: int) -> bool:
+        """True when back-to-back repeats of *batch* (one per *step_ps*)
+        provably commit nothing at the intermediate aggressor settles.
+
+        :meth:`absorb_repeated` reproduces the per-command execution of
+        K identical batches exactly — but only if the settles it skips
+        would have been no-ops.  Each skipped settle sees an aggressor
+        ``step_ps`` after its last recharge, carrying only the
+        cross-coupled disturbance of one command.  The settle is a
+        provable no-op when the aggressor's profile has no VRT cells
+        (the toggle draw would consume shared RNG), every weak cell
+        outlasts ``step_ps``, and the cross-coupled disturbance stays
+        strictly below the weakest hammer threshold.  The disturbance
+        bound uses the *full* (non-continued) effective counts — an
+        upper bound on both the first and the steady command — with a
+        1% float-ordering margin.
+        """
+        if batch.total == 0:
+            return False
+        environment = self.environment
+        if environment is not None and not environment.neutral:
+            return False
+        effective = self.disturbance_config.effective_acts(batch)
+        cross: dict[int, float] = {row: 0.0 for row in effective}
+        for aggressor, eff_acts in effective.items():
+            if not 0 <= aggressor < self.num_rows:
+                raise ConfigError(f"aggressor row {aggressor} out of range")
+            for victim, weight in self._victims_of(aggressor):
+                if victim in cross:
+                    cross[victim] += eff_acts * weight
+        for aggressor in effective:
+            state = self.state(aggressor)
+            profile = self._retention(aggressor, state)
+            if profile.has_vrt:
+                return False
+            if len(profile) and step_ps >= int(
+                    profile.base_retention_ps.min()):
+                return False
+            if cross[aggressor] > 0.0:
+                # Materializes the hammer profile iff the per-command
+                # path would (an intermediate settle with positive
+                # disturbance), keeping lazy-state parity.
+                hammer = self._hammer(aggressor, state)
+                if cross[aggressor] >= 0.99 * hammer.base_threshold:
+                    return False
+        return True
+
+    def absorb_repeated(self, batch: ActBatch, now_ps: int, repeats: int,
+                        step_ps: int) -> None:
+        """Apply *repeats* identical copies of *batch*, the i-th at
+        ``now_ps + i * step_ps``, in one pass.
+
+        Bit-exact reconstruction of the sequential loop given the
+        :meth:`fusion_safe` guarantee that intermediate aggressor
+        settles commit nothing: the first command runs verbatim (it
+        carries the cross-batch cascade continuity against whatever ran
+        before), then the remaining ``repeats - 1`` steady commands
+        collapse into closed forms — victims accumulate their
+        per-command disturbance additions in the exact sequential float
+        order (``np.add.accumulate`` is strictly left-to-right),
+        aggressors end recharged at the final command's timestamp
+        holding only the additions later-ordered aggressors made after
+        their recharge.
+        """
+        self.absorb_hammering(batch, now_ps)
+        if repeats <= 1:
+            return
+        effective = self._steady_effective(batch)
+        order = {row: index for index, row in enumerate(effective)}
+        victim_adds: dict[int, list[float]] = {}
+        residual: dict[int, float] = {row: 0.0 for row in effective}
+        for aggressor, eff_acts in effective.items():
+            position = order[aggressor]
+            for victim, weight in self._victims_of(aggressor):
+                add = eff_acts * weight
+                other = order.get(victim)
+                if other is None:
+                    victim_adds.setdefault(victim, []).append(add)
+                elif other < position:
+                    # Lands after the victim-aggressor's own recharge in
+                    # the final command, so it survives the run.
+                    residual[victim] += add
+        rows = self.rows
+        tiles = repeats - 1
+        for victim, adds in victim_adds.items():
+            state = rows.get(victim)
+            if state is None:
+                state = self.state(victim)
+            sequence = np.empty(1 + len(adds) * tiles, dtype=np.float64)
+            sequence[0] = state.disturbance
+            sequence[1:] = np.tile(np.asarray(adds, dtype=np.float64),
+                                   tiles)
+            state.disturbance = float(np.add.accumulate(sequence)[-1])
+        final_ps = now_ps + tiles * step_ps
+        for aggressor in effective:
+            state = rows[aggressor]
+            state.last_recharge_ps = final_ps
+            state.disturbance = residual[aggressor]
+
     def refresh_rows(self, rows, now_ps: int) -> None:
         """Refresh specific rows (used for TRR-induced refreshes)."""
         for row in rows:

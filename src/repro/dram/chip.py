@@ -184,6 +184,47 @@ class DramChip:
         self._ingest(physical)
         self.now_ps += self.config.timing.hammer_duration_ps(batch.total)
 
+    def fusion_safe(self, batch: ActBatch, step_ps: int) -> bool:
+        """Whether repeating *batch* back-to-back may run fused.
+
+        Requires a TRR mechanism that declares batch-merge associativity
+        (only stateless mechanisms do) and a bank-level proof that the
+        skipped intermediate settles commit nothing.  Any validation
+        error — e.g. an out-of-range aggressor — answers ``False`` so
+        the per-command path raises it at the exact command it belongs
+        to.
+        """
+        if not getattr(self.trr, "merge_associative", False):
+            return False
+        if batch.total == 0:
+            return False
+        try:
+            physical = self._physical_batch(batch)
+            return self._bank(physical.bank).fusion_safe(physical, step_ps)
+        except ConfigError:
+            return False
+
+    def hammer_repeated(self, batch: ActBatch, repeats: int) -> None:
+        """Execute *repeats* identical hammer batches in one fused pass.
+
+        Caller contract: :meth:`fusion_safe` answered ``True`` for this
+        batch at the per-command step.  TRR hooks are skipped — safe
+        precisely because ``merge_associative`` mechanisms have no-op
+        hooks — and the physics collapses into
+        :meth:`Bank.absorb_repeated`.
+        """
+        if repeats <= 0:
+            return
+        if not getattr(self.trr, "merge_associative", False):
+            raise ConfigError(
+                "hammer_repeated requires a merge-associative TRR")
+        physical = self._physical_batch(batch)
+        step = self.config.timing.hammer_duration_ps(batch.total)
+        self._bank(physical.bank).absorb_repeated(
+            physical, self.now_ps, repeats, step)
+        self.stats.activates += repeats * physical.total
+        self.now_ps += repeats * step
+
     def hammer_multi(self, batches: list[ActBatch]) -> None:
         """Hammer several banks in parallel (tFAW-limited, max 4 banks)."""
         if not batches:

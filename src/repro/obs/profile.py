@@ -68,6 +68,22 @@ class CommandProfiler:
                 per_op = self.stages.setdefault(stage, {})
                 per_op[opcode] = per_op.get(opcode, 0.0) + seconds
 
+    def add_bulk(self, opcode: str, count: int, seconds: float) -> None:
+        """Account *count* commands retired by one batched bracket.
+
+        The fused-payload path executes a whole run of identical ACT
+        commands inside a single ``perf_counter`` bracket; the profile
+        must still report N commands (so ``us/cmd`` and the per-opcode
+        counts match the per-command path), not one wide bracket.
+        """
+        self.seconds[opcode] = self.seconds.get(opcode, 0.0) + seconds
+        self.counts[opcode] = self.counts.get(opcode, 0) + count
+        if self._spans is not None:
+            stage = self._spans.current_name()
+            if stage is not None:
+                per_op = self.stages.setdefault(stage, {})
+                per_op[opcode] = per_op.get(opcode, 0.0) + seconds
+
     @property
     def total_s(self) -> float:
         return sum(self.seconds.values())
@@ -173,6 +189,9 @@ class NullProfiler:
     commands = 0
 
     def add(self, opcode: str, seconds: float) -> None:
+        pass
+
+    def add_bulk(self, opcode: str, count: int, seconds: float) -> None:
         pass
 
     def merge(self, other) -> None:

@@ -1,0 +1,198 @@
+"""Compile :class:`~repro.softmc.SoftMCProgram` instructions to payloads.
+
+The pipeline mirrors the parse → resolve → unroll → compile shape of
+real payload compilers: loops are unrolled, read labels resolved (and
+duplicate labels rejected with the same errors the interpreter raises),
+data patterns and hammer batches interned into side tables, and each
+command's fault-free clock advance (``dt``) scheduled from the module's
+:class:`~repro.dram.TimingParameters`.  Interning means an unrolled
+loop's N copies of one ``Hammer`` instruction share a single prebuilt
+:class:`~repro.dram.ActBatch`, which is also how the compiler discovers
+fusion groups — runs of identical consecutive ACT commands the executor
+may hand to the chip in one pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..softmc.program import (CheckRow, Hammer, Instruction, Loop,
+                              MultiHammer, ReadRow, Refresh, Wait, WriteRow)
+from .ops import (FLAG_NOMINAL, OP_ACT, OP_CHK, OP_MULTI, OP_RD, OP_REF,
+                  OP_WAIT, OP_WR, CompiledPayload)
+
+
+class _Emitter:
+    """Accumulates payload columns and interned operand tables."""
+
+    def __init__(self, timing) -> None:
+        from ..dram import ActBatch
+
+        self._act_batch = ActBatch
+        self.timing = timing
+        self.opcode: list[int] = []
+        self.bank: list[int] = []
+        self.row: list[int] = []
+        self.arg: list[int] = []
+        self.dt: list[int] = []
+        self.flags: list[int] = []
+        self._patterns: list = []
+        self._pattern_ids: dict = {}
+        self._labels: list[str] = []
+        self._label_ids: dict[str, int] = {}
+        self._batches: list = []
+        self._batch_ids: dict = {}
+        self._multis: list = []
+        self._multi_ids: dict = {}
+        self._wr_dt = timing.trcd_ps + timing.burst_write_ps + timing.trp_ps
+        self._rd_dt = timing.trcd_ps + timing.burst_read_ps + timing.trp_ps
+
+    def emit(self, opcode: int, bank: int, row: int, arg: int, dt: int,
+             flags: int = 0) -> None:
+        self.opcode.append(opcode)
+        self.bank.append(bank)
+        self.row.append(row)
+        self.arg.append(arg)
+        self.dt.append(dt)
+        self.flags.append(flags)
+
+    def intern_pattern(self, pattern) -> int:
+        ident = self._pattern_ids.get(pattern)
+        if ident is None:
+            ident = len(self._patterns)
+            self._patterns.append(pattern)
+            self._pattern_ids[pattern] = ident
+        return ident
+
+    def intern_label(self, label: str) -> int:
+        if label in self._label_ids:
+            raise ConfigError(
+                f"duplicate read label {label!r}; results would "
+                "silently overwrite each other")
+        ident = len(self._labels)
+        self._labels.append(label)
+        self._label_ids[label] = ident
+        return ident
+
+    def intern_batch(self, bank: int, pattern, mode) -> int:
+        key = (bank, pattern, mode)
+        ident = self._batch_ids.get(key)
+        if ident is None:
+            ident = len(self._batches)
+            self._batches.append(
+                self._act_batch(bank=bank, pattern=pattern, mode=mode))
+            self._batch_ids[key] = ident
+        return ident
+
+    def intern_multi(self, per_bank, mode) -> int:
+        key = (per_bank, mode)
+        ident = self._multi_ids.get(key)
+        if ident is None:
+            batches = tuple(
+                self._act_batch(bank=bank, pattern=pattern, mode=mode)
+                for bank, pattern in per_bank)
+            ident = len(self._multis)
+            self._multis.append(batches)
+            self._multi_ids[key] = ident
+        return ident
+
+    def walk(self, block) -> None:
+        timing = self.timing
+        for instruction in block:
+            if isinstance(instruction, WriteRow):
+                self.emit(OP_WR, instruction.bank, instruction.row,
+                          self.intern_pattern(instruction.pattern),
+                          self._wr_dt)
+            elif isinstance(instruction, ReadRow):
+                self.emit(OP_RD, instruction.bank, instruction.row,
+                          self.intern_label(_label(instruction)),
+                          self._rd_dt)
+            elif isinstance(instruction, CheckRow):
+                self.emit(OP_CHK, instruction.bank, instruction.row,
+                          self.intern_label(_label(instruction)),
+                          self._rd_dt)
+            elif isinstance(instruction, Hammer):
+                batch_id = self.intern_batch(
+                    instruction.bank, instruction.pattern, instruction.mode)
+                batch = self._batches[batch_id]
+                self.emit(OP_ACT, instruction.bank, -1, batch_id,
+                          timing.hammer_duration_ps(batch.total))
+            elif isinstance(instruction, MultiHammer):
+                multi_id = self.intern_multi(instruction.per_bank,
+                                             instruction.mode)
+                batches = self._multis[multi_id]
+                max_count = max(batch.total for batch in batches)
+                self.emit(OP_MULTI, -1, -1, multi_id,
+                          timing.multi_bank_hammer_duration_ps(
+                              max_count, len(batches)))
+            elif isinstance(instruction, Refresh):
+                # Per REF the clock advances tRFC, or tREFI at the
+                # nominal cadence (the spacing subsumes the tRFC).
+                per_ref = (timing.trefi_ps if instruction.at_nominal_rate
+                           else timing.trfc_ps)
+                self.emit(OP_REF, -1, -1, instruction.count,
+                          instruction.count * per_ref,
+                          FLAG_NOMINAL if instruction.at_nominal_rate
+                          else 0)
+            elif isinstance(instruction, Wait):
+                self.emit(OP_WAIT, -1, -1, instruction.duration_ps,
+                          instruction.duration_ps)
+            elif isinstance(instruction, Loop):
+                for _ in range(instruction.times):
+                    self.walk(instruction.body)
+            else:
+                raise ConfigError(
+                    f"unknown instruction {type(instruction).__name__}")
+
+    def finish(self) -> CompiledPayload:
+        opcode = np.asarray(self.opcode, dtype=np.uint8)
+        arg = np.asarray(self.arg, dtype=np.int64)
+        return CompiledPayload(
+            opcode=opcode,
+            bank=np.asarray(self.bank, dtype=np.int32),
+            row=np.asarray(self.row, dtype=np.int32),
+            arg=arg,
+            dt=np.asarray(self.dt, dtype=np.int64),
+            flags=np.asarray(self.flags, dtype=np.uint8),
+            patterns=tuple(self._patterns),
+            labels=tuple(self._labels),
+            batches=tuple(self._batches),
+            multis=tuple(self._multis),
+            fuse_groups=_fuse_groups(opcode, arg),
+        )
+
+
+def _label(instruction: ReadRow | CheckRow) -> str:
+    if instruction.label is not None:
+        return instruction.label
+    return f"{instruction.bank}:{instruction.row}"
+
+
+def _fuse_groups(opcode: np.ndarray, arg: np.ndarray
+                 ) -> tuple[tuple[int, int], ...]:
+    """Runs of >= 2 identical consecutive ACT commands (same batch)."""
+    groups: list[tuple[int, int]] = []
+    start = -1
+    batch_id = -1
+    for index, (op, operand) in enumerate(zip(opcode.tolist(),
+                                              arg.tolist())):
+        if op == OP_ACT and operand == batch_id:
+            continue
+        if start >= 0 and index - start >= 2:
+            groups.append((start, index - start))
+        if op == OP_ACT:
+            start, batch_id = index, operand
+        else:
+            start, batch_id = -1, -1
+    if start >= 0 and len(opcode) - start >= 2:
+        groups.append((start, len(opcode) - start))
+    return tuple(groups)
+
+
+def compile_program(instructions: "list[Instruction]", timing
+                    ) -> CompiledPayload:
+    """Compile an instruction list into a :class:`CompiledPayload`."""
+    emitter = _Emitter(timing)
+    emitter.walk(instructions)
+    return emitter.finish()

@@ -1,0 +1,110 @@
+"""Batch interpreter for :class:`~repro.program.CompiledPayload`.
+
+Executes a compiled payload against a :class:`~repro.softmc.SoftMCHost`.
+Two engines, one command stream:
+
+* The **guarded engine** walks the flat columns (plain Python scalars —
+  no per-command dataclass or isinstance dispatch) and issues each
+  command through the host's prebuilt-operand entry points.  It is
+  byte-identical to the per-command interpreter by construction under
+  every configuration, including fault injection.
+* The **fused engine** additionally hands each precomputed fusion group
+  (a run of identical consecutive ACT commands) to
+  :meth:`SoftMCHost._try_fused_hammer`, which executes the whole run in
+  one pass through the chip when — and only when — the chip can prove
+  the intermediate settles commit nothing (no fault injector, stateless
+  TRR, no VRT cells on the aggressors, retention slack, cross-coupled
+  disturbance below threshold).  When the proof fails the run falls
+  back to the guarded engine mid-payload, so fusion is a pure
+  performance decision, never a semantic one.
+
+Fusion is enabled by default exactly when the host has no fault
+injector; ``REPRO_PAYLOAD=guarded`` in the environment (or
+``fuse=False``) forces the guarded engine, ``REPRO_PAYLOAD=legacy``
+makes :meth:`SoftMCProgram.run` skip compilation entirely.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .ops import (OP_ACT, OP_CHK, OP_MULTI, OP_RD, OP_REF, OP_WAIT, OP_WR,
+                  CompiledPayload)
+
+
+def payload_mode() -> str:
+    """The process-wide payload routing mode (``REPRO_PAYLOAD``)."""
+    return os.environ.get("REPRO_PAYLOAD", "").strip().lower()
+
+
+def payloads_enabled() -> bool:
+    """Whether callers should route through compiled payloads."""
+    return payload_mode() != "legacy"
+
+
+def fusion_enabled() -> bool:
+    """Whether the executor may use the fused ACT engine."""
+    return payload_mode() not in ("guarded", "legacy")
+
+
+def execute_payload(host, payload: CompiledPayload, *,
+                    fuse: bool | None = None):
+    """Run *payload* on *host*; returns a ``ProgramResult``.
+
+    ``fuse=None`` resolves to "the host has no fault injector and the
+    environment does not force the guarded engine".
+    """
+    from ..softmc.program import ProgramResult
+
+    if fuse is None:
+        fuse = host.faults is None and fusion_enabled()
+    result = ProgramResult(started_ps=host.now_ps)
+    rows = result.rows
+    mismatches = result.mismatches
+
+    opcodes = payload.opcode.tolist()
+    banks = payload.bank.tolist()
+    row_col = payload.row.tolist()
+    args = payload.arg.tolist()
+    dts = payload.dt.tolist()
+    flags = payload.flags.tolist()
+    patterns = payload.patterns
+    labels = payload.labels
+    batches = payload.batches
+    multis = payload.multis
+    fuse_starts = ({start: length for start, length in payload.fuse_groups}
+                   if fuse else {})
+
+    write_row = host.write_row
+    read_row = host.read_row
+    read_row_mismatches = host.read_row_mismatches
+    hammer_prebuilt = host._hammer_prebuilt
+    index = 0
+    total = len(opcodes)
+    while index < total:
+        op = opcodes[index]
+        arg = args[index]
+        if op == OP_ACT:
+            length = fuse_starts.get(index, 0)
+            if length and host._try_fused_hammer(batches[arg], length,
+                                                 dts[index]):
+                index += length
+                continue
+            hammer_prebuilt(batches[arg])
+        elif op == OP_WR:
+            write_row(banks[index], row_col[index], patterns[arg])
+        elif op == OP_CHK:
+            mismatches[labels[arg]] = read_row_mismatches(
+                banks[index], row_col[index])
+        elif op == OP_RD:
+            rows[labels[arg]] = read_row(banks[index], row_col[index])
+        elif op == OP_REF:
+            host.refresh(arg, bool(flags[index] & 1))
+        elif op == OP_WAIT:
+            host.wait(arg)
+        else:  # OP_MULTI
+            host._hammer_multi_prebuilt(multis[arg])
+        index += 1
+
+    result.finished_ps = host.now_ps
+    return result

@@ -1,0 +1,102 @@
+"""Flat compiled-payload representation.
+
+Real rigs do not interpret experiment scripts command by command: U-TRR's
+SoftMC programs and the LiteX ``payload_executor`` both *compile* the
+experiment into a flat instruction payload first, then execute that.
+:class:`CompiledPayload` is this repository's payload format — parallel
+numpy columns, one slot per DDR command, plus interned side tables for
+the operands that do not fit in a scalar (data patterns, read labels,
+prebuilt :class:`~repro.dram.ActBatch` objects).
+
+Columns (all the same length):
+
+``opcode``
+    One of :data:`OP_WR`, :data:`OP_RD`, :data:`OP_CHK`, :data:`OP_ACT`,
+    :data:`OP_MULTI`, :data:`OP_REF`, :data:`OP_WAIT` (uint8).
+``bank`` / ``row``
+    Logical addressing for WR/RD/CHK; ``bank`` also set for ACT.  ``-1``
+    where not applicable (int32).
+``arg``
+    Opcode-specific operand (int64): pattern id for WR, label id for
+    RD/CHK, batch id for ACT, multi-batch id for MULTI, REF count for
+    REF, duration in ps for WAIT.
+``dt``
+    The host-clock advance of the command in the fault-free case (int64
+    ps).  The executor does not *apply* these — the chip owns the clock
+    — but the compiler exposes them so payload duration is a closed-form
+    ``dt.sum()`` and so the fused-ACT path knows each command's step.
+``flags``
+    Bit :data:`FLAG_NOMINAL` marks a REF issued at the nominal tREFI
+    rate (uint8).
+
+``fuse_groups`` lists runs of identical consecutive ACT commands (same
+interned batch), the unit the executor may hand to the chip's fused
+hammer path when that is provably equivalent (see
+:meth:`repro.dram.DramChip.fusion_safe`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dram import ActBatch, DataPattern
+
+OP_WR, OP_RD, OP_CHK, OP_ACT, OP_MULTI, OP_REF, OP_WAIT = range(7)
+
+#: Index-aligned with the opcode constants.
+OPCODE_NAMES = ("WR", "RD", "CHK", "ACT", "MULTI", "REF", "WAIT")
+
+#: REF issued at the nominal tREFI rate rather than back-to-back.
+FLAG_NOMINAL = 0x01
+
+
+@dataclass(frozen=True)
+class CompiledPayload:
+    """A compiled, loop-unrolled, label-resolved command payload."""
+
+    opcode: np.ndarray
+    bank: np.ndarray
+    row: np.ndarray
+    arg: np.ndarray
+    dt: np.ndarray
+    flags: np.ndarray
+    #: Interned data patterns (WR ``arg`` indexes here).
+    patterns: tuple[DataPattern, ...] = ()
+    #: Resolved read labels (RD/CHK ``arg`` indexes here).
+    labels: tuple[str, ...] = ()
+    #: Prebuilt logical-row hammer batches (ACT ``arg`` indexes here).
+    batches: tuple[ActBatch, ...] = ()
+    #: Prebuilt multi-bank batch groups (MULTI ``arg`` indexes here).
+    multis: tuple[tuple[ActBatch, ...], ...] = ()
+    #: ``(start_index, run_length)`` for every run of >= 2 identical
+    #: consecutive ACT commands — fusion candidates.
+    fuse_groups: tuple[tuple[int, int], ...] = ()
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.opcode.shape[0])
+
+    @property
+    def duration_ps(self) -> int:
+        """Host-clock span of the payload in the fault-free case."""
+        return int(self.dt.sum())
+
+    def counts(self) -> dict[str, int]:
+        """Commands per opcode name (zero entries omitted)."""
+        present, tallies = np.unique(self.opcode, return_counts=True)
+        return {OPCODE_NAMES[int(op)]: int(n)
+                for op, n in zip(present, tallies)}
+
+    def total_acts(self) -> int:
+        """Row activations the payload issues (WR/RD/CHK count one)."""
+        acts = int(np.isin(self.opcode, (OP_WR, OP_RD, OP_CHK)).sum())
+        ops = self.opcode
+        args = self.arg
+        for index in np.flatnonzero(ops == OP_ACT):
+            acts += self.batches[int(args[index])].total
+        for index in np.flatnonzero(ops == OP_MULTI):
+            acts += sum(batch.total
+                        for batch in self.multis[int(args[index])])
+        return acts

@@ -2,8 +2,8 @@
 
 from .bus import Ddr, DdrBus, TimedCommand
 from .interface import SoftMCHost
-from .program import (CheckRow, Hammer, Loop, ProgramResult, ReadRow,
-                      Refresh, SoftMCProgram, Wait, WriteRow)
+from .program import (CheckRow, Hammer, Loop, MultiHammer, ProgramResult,
+                      ReadRow, Refresh, SoftMCProgram, Wait, WriteRow)
 
 __all__ = [
     "CheckRow",
@@ -12,6 +12,7 @@ __all__ = [
     "TimedCommand",
     "Hammer",
     "Loop",
+    "MultiHammer",
     "ProgramResult",
     "ReadRow",
     "Refresh",

@@ -214,6 +214,46 @@ class SoftMCHost:
         if self._prof is not None:
             self._prof.add("ACT", perf_counter() - start)
 
+    def _hammer_prebuilt(self, batch: ActBatch) -> None:
+        """:meth:`hammer` with a precompiled batch (payload executor)."""
+        start = perf_counter() if self._prof is not None else 0.0
+        if self._rec is not None:
+            self._rec.on_act(self._chip.now_ps, batch.bank, batch.pattern,
+                             batch.mode)
+        self._count_acts(batch.bank, batch.total)
+        self._hammer_batch(batch)
+        if self._prof is not None:
+            self._prof.add("ACT", perf_counter() - start)
+
+    def _try_fused_hammer(self, batch: ActBatch, repeats: int,
+                          step_ps: int) -> bool:
+        """Execute *repeats* identical hammer commands in one fused pass.
+
+        Returns ``False`` — having done nothing — unless fusion is
+        provably equivalent to the per-command loop: no fault injector
+        (whose per-command RNG draws fusion would skip), and the chip
+        certifies the intermediate settles as no-ops
+        (:meth:`~repro.dram.DramChip.fusion_safe`).  On the fused path
+        the trace records are emitted with the same computed timestamps
+        the per-command loop would have stamped, and the profiler
+        accounts *repeats* ACT commands.
+        """
+        if (self._faults is not None or repeats < 2
+                or step_ps != self.timing.hammer_duration_ps(batch.total)
+                or not self._chip.fusion_safe(batch, step_ps)):
+            return False
+        start = perf_counter() if self._prof is not None else 0.0
+        if self._rec is not None:
+            now = self._chip.now_ps
+            for index in range(repeats):
+                self._rec.on_act(now + index * step_ps, batch.bank,
+                                 batch.pattern, batch.mode)
+        self._count_acts(batch.bank, batch.total * repeats)
+        self._chip.hammer_repeated(batch, repeats)
+        if self._prof is not None:
+            self._prof.add_bulk("ACT", repeats, perf_counter() - start)
+        return True
+
     def hammer_single(self, bank: int, row: int, count: int) -> None:
         """Hammer one row *count* times (a cascaded run)."""
         start = perf_counter() if self._prof is not None else 0.0
@@ -253,6 +293,37 @@ class SoftMCHost:
         self._chip.hammer_multi(batches)
         if self._prof is not None:
             self._prof.add("ACT", perf_counter() - start)
+
+    def _hammer_multi_prebuilt(self, batches: tuple[ActBatch, ...]) -> None:
+        """:meth:`hammer_multi` with precompiled batches (payload path)."""
+        start = perf_counter() if self._prof is not None else 0.0
+        for batch in batches:
+            if self._rec is not None:
+                self._rec.on_act(self._chip.now_ps, batch.bank,
+                                 batch.pattern, batch.mode,
+                                 group=len(batches))
+            self._count_acts(batch.bank, batch.total)
+        self._tick()
+        self._chip.hammer_multi(list(batches))
+        if self._prof is not None:
+            self._prof.add("ACT", perf_counter() - start)
+
+    # -- compiled payloads ----------------------------------------------------
+
+    def execute_payload(self, payload, *, fuse: bool | None = None):
+        """Execute a :class:`~repro.program.CompiledPayload`.
+
+        Returns a :class:`~repro.softmc.ProgramResult`.  The executed
+        command stream — trace records, ledger, metrics, chip state — is
+        byte-identical to interpreting the source program per command;
+        see ``docs/PERFORMANCE.md`` ("Compiled payloads").
+        """
+        from ..program.executor import execute_payload
+        if self._obs is not None:
+            with self._obs.span("payload.execute",
+                                commands=len(payload)):
+                return execute_payload(self, payload, fuse=fuse)
+        return execute_payload(self, payload, fuse=fuse)
 
     # -- refresh and time -----------------------------------------------------
 

@@ -12,12 +12,16 @@ replayable command list (and for the examples).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..dram import DataPattern, HammerMode
 from ..errors import ConfigError
 from .interface import SoftMCHost
+
+if TYPE_CHECKING:
+    from ..program import CompiledPayload
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,26 @@ class Hammer:
 
 
 @dataclass(frozen=True)
+class MultiHammer:
+    """Hammer up to four banks in parallel (tFAW-limited).
+
+    ``per_bank`` is an ordered tuple of ``(bank, ((row, count), ...))``
+    entries — the same shape :meth:`SoftMCHost.hammer_multi` takes as a
+    mapping, frozen for the instruction stream.
+    """
+
+    per_bank: tuple[tuple[int, tuple[tuple[int, int], ...]], ...]
+    mode: HammerMode = HammerMode.CASCADED
+
+    def __post_init__(self) -> None:
+        if not self.per_bank:
+            raise ConfigError("MultiHammer needs at least one bank")
+        banks = [bank for bank, _ in self.per_bank]
+        if len(set(banks)) != len(banks):
+            raise ConfigError("MultiHammer requires distinct banks")
+
+
+@dataclass(frozen=True)
 class Refresh:
     count: int = 1
     at_nominal_rate: bool = False
@@ -70,7 +94,8 @@ class Loop:
     body: tuple["Instruction", ...]
 
 
-Instruction = WriteRow | ReadRow | CheckRow | Hammer | Refresh | Wait | Loop
+Instruction = (WriteRow | ReadRow | CheckRow | Hammer | MultiHammer
+               | Refresh | Wait | Loop)
 
 
 @dataclass
@@ -116,6 +141,16 @@ class SoftMCProgram:
         self.instructions.append(Hammer(bank, tuple(pattern), mode))
         return self
 
+    def hammer_multi(self, per_bank, mode=HammerMode.CASCADED
+                     ) -> "SoftMCProgram":
+        """Queue a parallel multi-bank hammer; *per_bank* maps bank ->
+        iterable of ``(row, count)`` pairs (insertion order preserved)."""
+        entries = tuple(
+            (bank, tuple((row, count) for row, count in rows))
+            for bank, rows in per_bank.items())
+        self.instructions.append(MultiHammer(entries, mode))
+        return self
+
     def refresh(self, count: int = 1, at_nominal_rate: bool = False
                 ) -> "SoftMCProgram":
         self.instructions.append(Refresh(count, at_nominal_rate))
@@ -131,10 +166,39 @@ class SoftMCProgram:
 
     # Execution -----------------------------------------------------------
 
-    def run(self, host: SoftMCHost) -> ProgramResult:
-        """Execute the program; duplicate labels are rejected up front."""
+    def compile(self, timing) -> "CompiledPayload":  # noqa: A003
+        """Compile to a flat :class:`~repro.program.CompiledPayload`.
+
+        Loops are unrolled, labels resolved, operands interned, and each
+        command's fault-free clock advance scheduled from *timing* (the
+        host's :class:`~repro.dram.TimingParameters`).
+        """
+        from ..program import compile_program
+        return compile_program(self.instructions, timing)
+
+    def run(self, host: SoftMCHost,
+            compiled: bool | None = None) -> ProgramResult:
+        """Execute the program; duplicate labels are rejected up front.
+
+        Routed through the compiled payload executor by default (the
+        command stream is byte-identical either way); pass
+        ``compiled=False`` — or set ``REPRO_PAYLOAD=legacy`` in the
+        environment — to force the per-command reference interpreter.
+        """
         labels: set[str] = set()
         self._collect_labels(self.instructions, labels)
+        if compiled is None:
+            from ..program import payloads_enabled
+            compiled = payloads_enabled()
+        if compiled:
+            obs = host.obs
+            if obs is not None:
+                with obs.span("payload.compile",
+                              instructions=len(self.instructions)):
+                    payload = self.compile(host.timing)
+            else:
+                payload = self.compile(host.timing)
+            return host.execute_payload(payload)
         result = ProgramResult(started_ps=host.now_ps)
         self._run_block(host, self.instructions, result)
         result.finished_ps = host.now_ps
@@ -182,6 +246,10 @@ class SoftMCProgram:
             elif isinstance(instruction, Hammer):
                 host.hammer(instruction.bank, instruction.pattern,
                             instruction.mode)
+            elif isinstance(instruction, MultiHammer):
+                host.hammer_multi(
+                    {bank: rows for bank, rows in instruction.per_bank},
+                    instruction.mode)
             elif isinstance(instruction, Refresh):
                 host.refresh(instruction.count, instruction.at_nominal_rate)
             elif isinstance(instruction, Wait):

@@ -71,6 +71,14 @@ def neighbor_victims(row: int, radius: int, context: TrrContext) -> list[int]:
 class TrrMechanism(ABC):
     """Abstract in-DRAM TRR mechanism."""
 
+    #: Whether observing K identical consecutive ACT batches is
+    #: equivalent to observing them one at a time — i.e. the mechanism
+    #: keeps no state the batch boundary could perturb.  Only stateless
+    #: mechanisms may set this; it licenses the chip's fused hammer path
+    #: (:meth:`repro.dram.DramChip.hammer_repeated`) to skip the
+    #: per-batch TRR hooks.
+    merge_associative = False
+
     def __init__(self) -> None:
         self._context: TrrContext | None = None
 
@@ -120,6 +128,8 @@ class TrrMechanism(ABC):
 
 class NoTrr(TrrMechanism):
     """A chip with no RowHammer mitigation (pre-TRR behaviour)."""
+
+    merge_associative = True
 
     def on_activations(self, bank: int, batch: ActBatch,
                        now_ps: int = 0) -> None:

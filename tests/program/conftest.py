@@ -1,0 +1,70 @@
+"""Fixtures for compiled-payload tests: hosts and a mixed workload."""
+
+from __future__ import annotations
+
+from repro.dram import (AllOnes, AllZeros, DeviceConfig, DisturbanceConfig,
+                        DramChip, HammerMode, RetentionConfig)
+from repro.softmc import SoftMCHost, SoftMCProgram
+
+
+def payload_host(trr=None, *, obs=None, faults=None, weak_mean=2.0,
+                 serial=9) -> SoftMCHost:
+    """A weak-cell-dense chip so scans produce non-empty mismatches."""
+    config = DeviceConfig(
+        name="payload-test", serial=serial, num_banks=4,
+        rows_per_bank=4096, row_bits=1024, refresh_cycle_refs=1024,
+        retention=RetentionConfig(weak_cells_per_row_mean=weak_mean,
+                                  vrt_fraction=0.0),
+        disturbance=DisturbanceConfig(hc_first=10_000))
+    return SoftMCHost(DramChip(config, trr), obs=obs, faults=faults)
+
+
+def mixed_program() -> SoftMCProgram:
+    """Every instruction type, with fusible ACT runs and real decay.
+
+    Ten rounds of eight identical double-sided hammers (a fusible run)
+    plus a REF, bracketed by writes, a long wait, a multi-bank hammer,
+    and per-row checks — the command mix every payload caller produces.
+    """
+    body = SoftMCProgram()
+    for _ in range(8):
+        body.hammer(0, ((1000, 6), (1002, 6)), HammerMode.INTERLEAVED)
+    body.refresh(1)
+    program = SoftMCProgram()
+    for row in (999, 1000, 1001, 1002, 1003):
+        program.write(0, row, AllOnes())
+    program.write(1, 50, AllZeros())
+    program.loop(10, body)
+    program.hammer_multi({1: [(60, 3)], 2: [(70, 2)]})
+    program.hammer(1, ((80, 4),), HammerMode.CASCADED)
+    program.wait(int(256e9))
+    for row in (999, 1001, 1003):
+        program.check(0, row)
+    program.read(1, 50, label="readback")
+    program.refresh(2, at_nominal_rate=True)
+    return program
+
+
+def chip_state(host: SoftMCHost) -> tuple:
+    """Full observable chip state, exact to the float bit."""
+    chip = host._chip
+    rows = []
+    for index, bank in enumerate(chip.banks):
+        for row, state in bank.rows.items():
+            rows.append((index, row, int(state.last_recharge_ps),
+                         float(state.disturbance),
+                         tuple(state.fault_positions.tolist()),
+                         tuple(state.fault_values.tolist())))
+    return (host.now_ps, host.ref_count,
+            tuple(sorted(host.acts_per_bank.items())),
+            chip.stats.activates, chip.stats.refreshes,
+            tuple(sorted(rows)))
+
+
+def result_digest(result) -> tuple:
+    return (result.started_ps, result.finished_ps,
+            tuple(sorted((label, tuple(bits.tolist()))
+                         for label, bits in result.rows.items())),
+            tuple(sorted((label, tuple(positions))
+                         for label, positions in
+                         result.mismatches.items())))

@@ -1,0 +1,142 @@
+"""Payload compiler: unrolling, interning, scheduling, fusion groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import AllOnes, HammerMode
+from repro.errors import ConfigError
+from repro.program import (OP_ACT, OP_CHK, OP_MULTI, OP_REF, OP_WAIT, OP_WR,
+                           OPCODE_NAMES, compile_program)
+from repro.softmc import SoftMCProgram
+
+from .conftest import payload_host
+
+
+@pytest.fixture
+def timing():
+    return payload_host().timing
+
+
+def test_empty_program_compiles_and_runs(timing):
+    payload = compile_program([], timing)
+    assert len(payload) == 0
+    assert payload.duration_ps == 0
+    assert payload.counts() == {}
+    host = payload_host()
+    before = host.now_ps
+    result = host.execute_payload(payload)
+    assert host.now_ps == before
+    assert result.rows == {} and result.mismatches == {}
+    assert result.duration_ps == 0
+
+
+def test_single_command_payload(timing):
+    program = SoftMCProgram().hammer(0, ((100, 7),), HammerMode.CASCADED)
+    payload = program.compile(timing)
+    assert len(payload) == 1
+    assert payload.opcode[0] == OP_ACT
+    assert payload.dt[0] == timing.hammer_duration_ps(7)
+    assert payload.total_acts() == 7
+    assert payload.fuse_groups == ()
+
+
+def test_wait_only_payload(timing):
+    payload = SoftMCProgram().wait(123_456).compile(timing)
+    assert len(payload) == 1
+    assert payload.opcode[0] == OP_WAIT
+    assert payload.arg[0] == 123_456
+    assert payload.dt[0] == 123_456
+    assert payload.duration_ps == 123_456
+    host = payload_host()
+    before = host.now_ps
+    host.execute_payload(payload)
+    assert host.now_ps - before == 123_456
+
+
+def test_loops_unroll_recursively(timing):
+    inner = SoftMCProgram().hammer(0, ((10, 1),))
+    outer = SoftMCProgram().refresh(1).loop(3, inner)
+    program = SoftMCProgram().loop(2, outer)
+    payload = program.compile(timing)
+    assert len(payload) == 2 * (1 + 3)
+    assert payload.counts() == {"ACT": 6, "REF": 2}
+
+
+def test_dt_schedule_matches_timing_formulas(timing):
+    program = (SoftMCProgram()
+               .write(0, 1, AllOnes())
+               .read(0, 1)
+               .check(0, 1, label="again")
+               .refresh(3)
+               .refresh(2, at_nominal_rate=True))
+    payload = program.compile(timing)
+    write_dt = timing.trcd_ps + timing.burst_write_ps + timing.trp_ps
+    read_dt = timing.trcd_ps + timing.burst_read_ps + timing.trp_ps
+    assert payload.dt.tolist() == [write_dt, read_dt, read_dt,
+                                   3 * timing.trfc_ps,
+                                   2 * timing.trefi_ps]
+    assert [OPCODE_NAMES[op] for op in payload.opcode.tolist()] == [
+        "WR", "RD", "CHK", "REF", "REF"]
+
+
+def test_duplicate_labels_rejected_at_compile(timing):
+    program = SoftMCProgram().check(0, 5).check(0, 5)
+    with pytest.raises(ConfigError, match="duplicate read label"):
+        program.compile(timing)
+
+
+def test_multi_iteration_loop_reads_need_unique_labels(timing):
+    body = SoftMCProgram().check(0, 5)
+    program = SoftMCProgram().loop(2, body)
+    with pytest.raises(ConfigError):
+        program.run(payload_host())
+
+
+def test_operand_interning_and_fuse_groups(timing):
+    pattern = AllOnes()
+    program = SoftMCProgram()
+    for _ in range(4):
+        program.hammer(0, ((100, 2), (102, 2)), HammerMode.INTERLEAVED)
+    program.hammer(1, ((200, 2),), HammerMode.CASCADED)
+    for _ in range(2):
+        program.hammer(0, ((100, 2), (102, 2)), HammerMode.INTERLEAVED)
+    program.write(0, 100, pattern).write(0, 102, pattern)
+    payload = program.compile(timing)
+    # Identical (bank, rows, mode) batches share one interned operand;
+    # identical patterns (by content) likewise.
+    assert len(payload.batches) == 2
+    assert len(payload.patterns) == 1
+    # Runs of >= 2 identical consecutive ACT commands become fusion
+    # groups; the lone bank-1 hammer breaks the run.
+    assert payload.fuse_groups == ((0, 4), (5, 2))
+
+
+def test_multi_hammer_compiles_to_one_command(timing):
+    program = SoftMCProgram().hammer_multi({0: [(10, 3)], 2: [(20, 4)]})
+    payload = program.compile(timing)
+    assert len(payload) == 1
+    assert payload.opcode[0] == OP_MULTI
+    assert len(payload.multis) == 1
+    batches = payload.multis[0]
+    assert [(batch.bank, batch.pattern) for batch in batches] == [
+        (0, ((10, 3),)), (2, ((20, 4),))]
+
+
+def test_unknown_instruction_rejected(timing):
+    with pytest.raises(ConfigError, match="unknown instruction"):
+        compile_program([object()], timing)
+
+
+def test_counts_and_opcode_constants(timing):
+    program = (SoftMCProgram()
+               .write(0, 1, AllOnes())
+               .hammer(0, ((5, 1),))
+               .refresh(1)
+               .wait(10)
+               .check(0, 1))
+    payload = program.compile(timing)
+    assert payload.counts() == {"WR": 1, "ACT": 1, "REF": 1, "WAIT": 1,
+                                "CHK": 1}
+    assert payload.opcode.tolist() == [OP_WR, OP_ACT, OP_REF, OP_WAIT,
+                                       OP_CHK]
