@@ -17,6 +17,11 @@ PRs are measured, not asserted:
 * **figures / eval** — wall-clock per paper artifact (Figures 8, 9, 10)
   at ``quick`` scale, sequential (``--workers 1``) versus the
   ``repro.parallel`` process pool, plus modules evaluated per second.
+* **cache** — the result store.  A fig9 sweep run twice through one
+  ``repro.cache`` store: the cold pass executes and publishes every
+  unit, the warm pass must serve 100% hits with the identical rendered
+  artifact.  The warm-over-cold speedup is gated against an absolute
+  floor.
 
 Regression checking (``--check baseline.json``) compares the
 **speedup ratios** (vectorized-over-legacy, compiled-over-per-command),
@@ -48,6 +53,7 @@ except ImportError:  # running from a checkout without pip install -e .
 
 import numpy as np
 
+from repro.cache import ResultCache
 from repro.dram import (AllOnes, DeviceConfig, DisturbanceConfig, DramChip,
                         HammerMode, RetentionConfig)
 from repro.dram.bank import Bank
@@ -433,6 +439,46 @@ def bench_figures(modules: list[str], scale, workers: int) -> dict:
     return figures
 
 
+def bench_cache(modules: list[str], scale) -> dict:
+    """Cold vs warm fig9 sweep through one content-addressed store.
+
+    The cold pass executes every module unit and publishes its result
+    envelope; the warm pass — a fresh :class:`ResultCache` over the
+    same store, as a re-invoked CLI run would build — must serve every
+    unit from the store (100% hit ratio, zero executions) and render
+    the byte-identical artifact.  Both invariants are asserted before
+    the timing is trusted.  The headline ``speedup`` is warm-over-cold
+    wall clock; ``--check`` gates it against an absolute floor because
+    the ratio is a property of the code (fetch-and-replay vs execute),
+    not of the machine.
+    """
+    with tempfile.TemporaryDirectory() as root:
+        cold_s, cold = _timed(
+            lambda: run_fig9(modules, scale, workers=1,
+                             cache=ResultCache(root)))
+        warm_cache = ResultCache(root)
+        warm_s, warm = _timed(
+            lambda: run_fig9(modules, scale, workers=1,
+                             cache=warm_cache))
+        summary = warm_cache.summary()
+        if cold.render() != warm.render():
+            raise AssertionError(
+                "warm cache run rendered a different fig9 artifact "
+                "than the cold run")
+        if summary["hit_ratio"] != 1.0 or summary["misses"]:
+            raise AssertionError(
+                f"warm cache run was not 100% hits: {summary}")
+    return {
+        "modules": list(modules),
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 3),
+        "hits": summary["hits"],
+        "misses": summary["misses"],
+        "hit_ratio": summary["hit_ratio"],
+    }
+
+
 def bench_profile(modules: list[str], scale,
                   stacks_path: pathlib.Path | None = None) -> dict:
     """Per-opcode command-bus attribution for one sequential fig9 run.
@@ -475,6 +521,12 @@ def run_benchmarks(modules: list[str], scale_name: str, workers: int,
               f"{numbers['compiled_cmds_per_sec']:,.0f} cmds/s compiled "
               f"vs {numbers['per_command_cmds_per_sec']:,.0f} "
               f"per-command ({numbers['speedup']:.1f}x)", flush=True)
+    print("[bench] result cache (cold vs warm fig9 sweep) ...",
+          flush=True)
+    cache = bench_cache(modules, scale)
+    print(f"[bench]   cold {cache['cold_seconds']:.1f}s, warm "
+          f"{cache['warm_seconds']:.2f}s ({cache['speedup']:.0f}x, "
+          f"hit ratio {cache['hit_ratio']:.0%})", flush=True)
     print(f"[bench] figures at scale={scale_name} "
           f"modules={','.join(modules)} workers={workers} ...", flush=True)
     figures = bench_figures(modules, scale, workers)
@@ -490,6 +542,7 @@ def run_benchmarks(modules: list[str], scale_name: str, workers: int,
         "workers": workers,
         "settle": settle,
         "payload": payload,
+        "cache": cache,
         "figures": figures,
         "eval": {
             "modules_per_sec_sequential": round(
@@ -520,10 +573,15 @@ def check_regression(current: dict, baseline_path: pathlib.Path,
     """Machine-independent regression check against a committed baseline.
 
     Only speedup *ratios* are gated — settle (vectorized vs legacy
-    loop) and payload (compiled executor vs per-command interpreter,
-    hammer-heavy shape): each compares two code paths on the same
-    machine, so it transfers across runners.  Absolute wall-clock
-    numbers in the baseline are informational.
+    loop), payload (compiled executor vs per-command interpreter,
+    hammer-heavy shape) and cache (warm fetch-and-replay vs cold
+    execution): each compares two code paths on the same machine, so
+    it transfers across runners.  Absolute wall-clock numbers in the
+    baseline are informational.  The cache ratio is gated only against
+    its absolute 10x floor, not baseline-relative tolerance: the warm
+    pass measures store I/O against unit execution, a ratio that spans
+    orders of magnitude with unit cost, so "within 25% of baseline"
+    would be noise.
     """
     baseline = json.loads(baseline_path.read_text())
     failures = []
@@ -554,6 +612,15 @@ def check_regression(current: dict, baseline_path: pathlib.Path,
             failures.append(
                 f"payload (hammer) speedup below the 5x floor: "
                 f"{payload_speedup:.2f}x")
+    cache_speedup = current.get("cache", {}).get("speedup")
+    if cache_speedup is not None and cache_speedup < 10.0:
+        failures.append(
+            f"cache warm/cold speedup below the 10x floor: "
+            f"{cache_speedup:.2f}x")
+    cache_hit_ratio = current.get("cache", {}).get("hit_ratio")
+    if cache_hit_ratio is not None and cache_hit_ratio != 1.0:
+        failures.append(
+            f"warm cache pass was not 100% hits: {cache_hit_ratio:.0%}")
     return failures
 
 

@@ -1,0 +1,70 @@
+"""Cache maintenance CLI: ``python -m repro.cache <cmd> <dir>``.
+
+Subcommands:
+
+``stats``
+    Object count, total bytes, per-harness breakdown, age span.
+``prune``
+    Evict corrupt objects always; ``--max-age-days`` evicts by age,
+    ``--max-bytes`` evicts least-recently-used down to the budget,
+    ``--all`` empties the store.
+``verify``
+    Decode every object (framing + CRC + unpickle) and re-check each
+    value against its stored digest; exits 1 when anything is corrupt
+    or stale, 0 on a clean store.
+
+All subcommands print one JSON object on stdout so CI can archive the
+output as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .store import ResultCache
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cache",
+        description="Inspect and maintain a repro result cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="summarize the store")
+    stats.add_argument("cache", help="cache directory")
+
+    prune = sub.add_parser("prune", help="evict cache objects")
+    prune.add_argument("cache", help="cache directory")
+    prune.add_argument("--max-bytes", type=int, default=None,
+                       help="evict LRU objects down to this many bytes")
+    prune.add_argument("--max-age-days", type=float, default=None,
+                       help="evict objects unused for this many days")
+    prune.add_argument("--all", action="store_true",
+                       help="empty the store")
+
+    verify = sub.add_parser(
+        "verify", help="integrity-check every stored envelope")
+    verify.add_argument("cache", help="cache directory")
+
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache)
+
+    if args.command == "stats":
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.command == "prune":
+        max_age_s = (args.max_age_days * 86400.0
+                     if args.max_age_days is not None else None)
+        report = cache.prune(max_bytes=args.max_bytes,
+                             max_age_s=max_age_s, drop_all=args.all)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    report = cache.verify_store()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 1 if report["corrupt"] or report["stale"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Envelope codec: the on-disk form of one cached unit result.
+
+An envelope is everything :mod:`repro.parallel` needs to make a cache
+hit indistinguishable from a fresh execution: the unit's return value,
+its per-unit metrics dump and span timeline (replayed through the same
+submission-order fold a pool worker's envelope goes through), the
+measured wall-clock, and an optional command-bus profile.  It also
+stores the full key *material* so ``python -m repro.cache stats`` can
+explain every object without re-deriving anything.
+
+Wire format: a 5-byte magic (``RPRC`` + version), a 4-byte big-endian
+CRC-32 of the body, then the pickled body (protocol 4 — readable by
+every Python this repo supports).  The CRC catches torn writes and
+bit rot cheaply; a corrupt or truncated envelope decodes to a
+:class:`repro.errors.CacheError`, which the store treats as a miss.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass, field, fields
+
+from ..errors import CacheError
+
+#: 4-byte magic + 1-byte format version.
+MAGIC = b"RPRC\x01"
+
+
+@dataclass
+class CacheEnvelope:
+    """One cached unit outcome plus its provenance."""
+
+    key: str
+    unit_id: str
+    value: object = None
+    #: ``MetricsRegistry.as_dict()`` dump of what the unit recorded
+    #: (None when the unit recorded nothing).
+    metrics: dict | None = None
+    #: ``SpanTracker.as_timeline()`` rows (telemetry side channel).
+    spans: list | None = None
+    wall_s: float | None = None
+    #: ``CommandProfiler.as_dict()`` per-opcode attribution.
+    profile: dict | None = None
+    #: The key material (:func:`repro.cache.keys.unit_key_material`) —
+    #: stored for stats/debugging, never re-hashed on the read path.
+    material: dict = field(default_factory=dict)
+    #: SHA-256 of ``pickle(value)`` at publish time; ``verify`` mode
+    #: compares digests instead of objects (arrays, nested results).
+    value_digest: str | None = None
+
+
+def encode(envelope: CacheEnvelope) -> bytes:
+    """Serialize *envelope* to the framed wire format."""
+    # Shallow field dict, NOT dataclasses.asdict — asdict recurses and
+    # would flatten a dataclass-typed unit value into a plain dict.
+    body = pickle.dumps({f.name: getattr(envelope, f.name)
+                         for f in fields(envelope)}, protocol=4)
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return MAGIC + crc.to_bytes(4, "big") + body
+
+
+def decode(blob: bytes) -> CacheEnvelope:
+    """Parse one framed envelope; raise :class:`CacheError` if invalid."""
+    if len(blob) < len(MAGIC) + 4:
+        raise CacheError("envelope truncated")
+    if blob[:len(MAGIC)] != MAGIC:
+        raise CacheError(
+            f"bad envelope magic {blob[:len(MAGIC)]!r}")
+    stored_crc = int.from_bytes(blob[len(MAGIC):len(MAGIC) + 4], "big")
+    body = blob[len(MAGIC) + 4:]
+    if (zlib.crc32(body) & 0xFFFFFFFF) != stored_crc:
+        raise CacheError("envelope CRC mismatch (corrupt or torn write)")
+    try:
+        fields = pickle.loads(body)
+        return CacheEnvelope(**fields)
+    except Exception as error:
+        raise CacheError(f"envelope unpickle failed: {error}") from error

@@ -51,6 +51,18 @@ class RetryExhaustedError(ProfilingError):
     """
 
 
+class CacheError(ReproError):
+    """A cached result envelope is corrupt, stale, or diverges from a
+    re-executed reference.
+
+    Raised by the envelope codec on framing/CRC failures (the store
+    treats those as misses) and by sampled-hit verification when a
+    cached envelope no longer matches what the unit computes — the one
+    case that must abort the run, because it means the cache key is
+    missing an input.
+    """
+
+
 class ExperimentError(ReproError):
     """A TRR Analyzer experiment was configured or executed incorrectly."""
 

@@ -29,14 +29,26 @@ the watchdog that flags units whose command counters stop advancing.
 ``--profile`` attributes host wall time per DDR opcode and prints the
 attribution table to stderr.  All three are side channels: artifact
 bytes on stdout are unaffected.
+
+``--cache DIR`` (default: the ``REPRO_CACHE`` environment variable)
+serves work units from a content-addressed result store and publishes
+fresh results into it, so re-running an identical sweep — including
+resuming one that was killed mid-run (``--resume`` is the explicit
+alias) — skips every already-computed unit.  Artifact bytes, folded
+metrics, and history metrics are identical with or without the cache.
+``--no-cache`` overrides the environment default; ``--cache-verify``
+re-executes one sampled hit per run and fails loudly if the stored
+envelope diverges.  Maintain stores with ``python -m repro.cache``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from ..cache import ResultCache
 from ..obs import (CommandProfiler, MetricsRegistry, RunHistory,
                    SpanTracker, StructuredLog, TelemetryConfig,
                    build_manifest)
@@ -92,6 +104,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="attribute host wall time per DDR opcode; "
                              "table goes to stderr, totals to --history")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="serve units from (and publish into) a "
+                             "content-addressed result store (default: "
+                             "$REPRO_CACHE when set)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache even when "
+                             "$REPRO_CACHE is set")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from its "
+                             "cache (explicit alias: requires --cache "
+                             "or $REPRO_CACHE)")
+    parser.add_argument("--cache-verify", action="store_true",
+                        help="re-execute one sampled cache hit and "
+                             "fail if its stored envelope diverges")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
     workers = args.workers
@@ -110,6 +136,22 @@ def main(argv: list[str] | None = None) -> int:
                  stall_deadline_s=args.stall_deadline or "off")
     elif args.stall_deadline is not None:
         parser.error("--stall-deadline requires --telemetry")
+    cache_dir = args.cache or os.environ.get("REPRO_CACHE") or None
+    if args.no_cache:
+        cache_dir = None
+    if args.resume and cache_dir is None:
+        parser.error("--resume requires --cache DIR (or $REPRO_CACHE): "
+                     "resuming replays completed units from the result "
+                     "store, so there must be one to resume from")
+    if args.cache_verify and cache_dir is None:
+        parser.error("--cache-verify requires --cache DIR "
+                     "(or $REPRO_CACHE)")
+    cache = None
+    if cache_dir is not None:
+        cache = ResultCache(cache_dir, verify=args.cache_verify)
+        log.info("cache-enabled", store=cache_dir,
+                 resume=args.resume or False,
+                 verify=args.cache_verify or False)
     manifest = build_manifest(scale=scale.name, artifact=args.artifact,
                               include_time=False)
     log.info("run-start", artifact=args.artifact, scale=scale.name,
@@ -117,7 +159,7 @@ def main(argv: list[str] | None = None) -> int:
              git=manifest["git"])
 
     engine = dict(workers=workers, log=log, metrics=metrics,
-                  telemetry=telemetry, profiler=profiler)
+                  telemetry=telemetry, profiler=profiler, cache=cache)
     started = time.time()
     with spans.span(args.artifact, scale=scale.name, workers=workers):
         if args.artifact == "resilience":
@@ -157,6 +199,9 @@ def main(argv: list[str] | None = None) -> int:
     wall = time.time() - started
     log.info("run-done", artifact=args.artifact, scale=scale.name,
              workers=workers, seconds=round(wall, 1))
+    if cache is not None:
+        summary = cache.summary()
+        log.info("cache-summary", **summary)
     if profiler is not None and not args.quiet:
         sys.stderr.write("command-bus profile:\n"
                          + profiler.render(wall_s=wall) + "\n")
@@ -164,10 +209,13 @@ def main(argv: list[str] | None = None) -> int:
         row_manifest = build_manifest(
             scale=scale.name, artifact=args.artifact,
             modules=args.modules or "default", workers=workers)
+        # Cache accounting rides in ``extra`` — outside the fields the
+        # history gate compares, so warm and cold rows gate alike.
         RunHistory(args.history).record(
             f"eval.{args.artifact}", manifest=row_manifest,
             metrics=metrics, spans=spans, wall_s=wall,
-            profile=profiler)
+            profile=profiler,
+            extra={"cache": cache.summary()} if cache else None)
         log.info("history-recorded", store=args.history,
                  kind=f"eval.{args.artifact}")
     return 0

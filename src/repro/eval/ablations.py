@@ -165,7 +165,7 @@ ABLATIONS = (
 
 def run_ablations(scale: EvalScale = STANDARD, workers: int = 1,
                   log=None, metrics=None, telemetry=None,
-                  profiler=None) -> list[AblationResult]:
+                  profiler=None, cache=None) -> list[AblationResult]:
     """All four ablation studies, sharded over *workers* processes.
 
     Results come back in AB1..AB4 order; ``workers=1`` runs each study
@@ -176,4 +176,5 @@ def run_ablations(scale: EvalScale = STANDARD, workers: int = 1,
                             "artifact": "ablations"})
              for name, fn in ABLATIONS]
     return run_units(units, workers, log=log, metrics=metrics,
-                     telemetry=telemetry, profiler=profiler).values
+                     telemetry=telemetry, profiler=profiler,
+                     cache=cache).values

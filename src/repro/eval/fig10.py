@@ -64,18 +64,19 @@ def run_fig10(module_ids: list[str] | None = None,
               evaluations: list[ModuleEvaluation] | None = None,
               positions: int | None = None, workers: int = 1,
               log=None, metrics=None, telemetry=None,
-              profiler=None) -> Fig10Result:
+              profiler=None, cache=None) -> Fig10Result:
     """Reuses Figure 9 evaluations when given (same underlying sweep)."""
     if evaluations is None:
         if (workers > 1 or metrics is not None or telemetry is not None
-                or profiler is not None):
+                or profiler is not None or cache is not None):
             ids = (list(module_ids) if module_ids
                    else [spec.module_id for spec in all_modules()])
             evaluations = evaluate_modules(ids, scale, positions,
                                            workers=workers, log=log,
                                            metrics=metrics,
                                            telemetry=telemetry,
-                                           profiler=profiler)
+                                           profiler=profiler,
+                                           cache=cache)
         else:
             specs = ([get_module(module_id) for module_id in module_ids]
                      if module_ids else all_modules())

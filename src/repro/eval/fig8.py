@@ -96,7 +96,8 @@ def run_fig8(module_id: str, scale: EvalScale = STANDARD,
 
 def run_fig8_many(module_ids, scale: EvalScale = STANDARD,
                   workers: int = 1, log=None, metrics=None,
-                  telemetry=None, profiler=None) -> list[Fig8Result]:
+                  telemetry=None, profiler=None,
+                  cache=None) -> list[Fig8Result]:
     """One hammer sweep per module, sharded over *workers* processes."""
     units = [WorkUnit(unit_id=f"fig8/{module_id}", fn=run_fig8,
                       args=(module_id, scale),
@@ -104,4 +105,5 @@ def run_fig8_many(module_ids, scale: EvalScale = STANDARD,
                             "artifact": "fig8"})
              for module_id in module_ids]
     return run_units(units, workers, log=log, metrics=metrics,
-                     telemetry=telemetry, profiler=profiler).values
+                     telemetry=telemetry, profiler=profiler,
+                     cache=cache).values

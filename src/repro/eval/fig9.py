@@ -45,14 +45,15 @@ def run_fig9(module_ids: list[str] | None = None,
              scale: EvalScale = STANDARD,
              positions: int | None = None, workers: int = 1,
              log=None, metrics=None, telemetry=None,
-             profiler=None) -> Fig9Result:
+             profiler=None, cache=None) -> Fig9Result:
     if (workers > 1 or metrics is not None or telemetry is not None
-            or profiler is not None):
+            or profiler is not None or cache is not None):
         ids = (list(module_ids) if module_ids
                else [spec.module_id for spec in all_modules()])
         return Fig9Result(evaluations=evaluate_modules(
             ids, scale, positions, workers=workers, log=log,
-            metrics=metrics, telemetry=telemetry, profiler=profiler))
+            metrics=metrics, telemetry=telemetry, profiler=profiler,
+            cache=cache))
     specs = ([get_module(module_id) for module_id in module_ids]
              if module_ids else all_modules())
     evaluations = [evaluate_module(spec, scale, positions)

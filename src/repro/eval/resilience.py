@@ -221,7 +221,8 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
                    seed: int = 0,
                    config: InferenceConfig | None = None,
                    workers: int = 1, log=None, metrics=None,
-                   telemetry=None, profiler=None) -> ResilienceReport:
+                   telemetry=None, profiler=None,
+                   cache=None) -> ResilienceReport:
     """Chaos runs over one representative module per vendor.
 
     With ``workers > 1`` the chaos runs shard over a process pool; a
@@ -234,7 +235,7 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
     """
     ids = list(module_ids or RESILIENCE_MODULES)
     if (workers > 1 or metrics is not None or telemetry is not None
-            or profiler is not None):
+            or profiler is not None or cache is not None):
         units = [WorkUnit(unit_id=f"resilience/{module_id}",
                           fn=run_module_resilience,
                           args=(module_id, fault_profile, seed, config),
@@ -244,7 +245,7 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
                  for module_id in ids]
         run = run_units(units, workers, quarantine=True, log=log,
                         metrics=metrics, telemetry=telemetry,
-                        profiler=profiler)
+                        profiler=profiler, cache=cache)
         return ResilienceReport(
             modules=run.values,
             quarantined=[(outcome.unit_id.removeprefix("resilience/"),

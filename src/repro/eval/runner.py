@@ -168,7 +168,7 @@ def evaluate_module_unit(module_id: str, scale: EvalScale,
 def evaluate_modules(module_ids, scale: EvalScale,
                      positions: int | None = None, workers: int = 1,
                      log=None, metrics=None, telemetry=None,
-                     profiler=None) -> list[ModuleEvaluation]:
+                     profiler=None, cache=None) -> list[ModuleEvaluation]:
     """Evaluate many modules, sharded over *workers* processes.
 
     Results come back in *module_ids* order whatever the scheduling;
@@ -178,7 +178,11 @@ def evaluate_modules(module_ids, scale: EvalScale,
     :class:`~repro.obs.TelemetryConfig`) publishes live progress into
     its spool, and *profiler* (a :class:`~repro.obs.CommandProfiler`)
     collects the folded per-opcode command-bus attribution — both are
-    side channels that leave the artifacts byte-identical.
+    side channels that leave the artifacts byte-identical.  *cache* (a
+    :class:`~repro.cache.ResultCache`) serves previously computed
+    units from the content-addressed store and publishes fresh ones —
+    the ``eval/<module>`` unit ids are shared with the fig9/fig10
+    harnesses, so a fig9 run warms fig10 and vice versa.
     """
     units = [WorkUnit(unit_id=f"eval/{module_id}",
                       fn=evaluate_module_unit,
@@ -186,7 +190,8 @@ def evaluate_modules(module_ids, scale: EvalScale,
                       meta={"module": module_id, "scale": scale.name})
              for module_id in module_ids]
     return run_units(units, workers, log=log, metrics=metrics,
-                     telemetry=telemetry, profiler=profiler).values
+                     telemetry=telemetry, profiler=profiler,
+                     cache=cache).values
 
 
 def evaluate_baseline(spec: ModuleSpec, scale: EvalScale,

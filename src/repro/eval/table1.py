@@ -130,10 +130,10 @@ TABLE1_REPRESENTATIVES = ("A0", "A13", "B0", "B9", "B13",
 
 def run_table1(module_ids=None, scale: EvalScale = STANDARD,
                workers: int = 1, log=None, metrics=None,
-               telemetry=None, profiler=None) -> Table1Result:
+               telemetry=None, profiler=None, cache=None) -> Table1Result:
     ids = list(module_ids or TABLE1_REPRESENTATIVES)
     if (workers > 1 or metrics is not None or telemetry is not None
-            or profiler is not None):
+            or profiler is not None or cache is not None):
         units = [WorkUnit(unit_id=f"table1/{module_id}",
                           fn=run_table1_module, args=(module_id, scale),
                           meta={"module": module_id, "scale": scale.name,
@@ -142,6 +142,7 @@ def run_table1(module_ids=None, scale: EvalScale = STANDARD,
         return Table1Result(rows=run_units(units, workers, log=log,
                                            metrics=metrics,
                                            telemetry=telemetry,
-                                           profiler=profiler).values)
+                                           profiler=profiler,
+                                           cache=cache).values)
     return Table1Result(rows=[run_table1_module(module_id, scale)
                               for module_id in ids])

@@ -264,6 +264,7 @@ def progress(events: list[dict], now: float | None = None) -> dict:
     units = _by_unit(events)
     done: dict[str, float] = {}
     failed: list[str] = []
+    cached: list[str] = []
     running: dict[str, dict] = {}
     commands = 0
     for unit_id, unit_events in units.items():
@@ -275,6 +276,8 @@ def progress(events: list[dict], now: float | None = None) -> dict:
             commands += done_event.get("commands", 0)
             if done_event.get("error"):
                 failed.append(unit_id)
+            if done_event.get("cached"):
+                cached.append(unit_id)
             continue
         heartbeats = [e for e in unit_events
                       if e.get("kind") == "heartbeat"]
@@ -299,6 +302,10 @@ def progress(events: list[dict], now: float | None = None) -> dict:
         "units_total": total,
         "units_done": len(done),
         "units_failed": sorted(failed),
+        # Units served from the result cache (their unit-done events
+        # are replayed, flagged ``cached``); the live hit ratio is
+        # units_cached / units_done.
+        "units_cached": len(cached),
         "units_running": dict(sorted(running.items())),
         "unit_walls": {unit: round(wall, 6)
                        for unit, wall in sorted(done.items())},
@@ -432,6 +439,8 @@ def render_progress(summary: dict) -> str:
              f"{summary['units_done']}/{summary['units_total']} units "
              f"done, {len(summary['units_running'])} running, "
              f"{summary['commands']} commands issued"]
+    if summary.get("units_cached"):
+        lines[0] += f", {summary['units_cached']} from cache"
     if summary.get("eta_s") is not None:
         lines[0] += f", eta {summary['eta_s']:.1f}s"
     for unit, state in summary["units_running"].items():

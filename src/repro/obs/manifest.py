@@ -13,6 +13,7 @@ from __future__ import annotations
 import platform
 import subprocess
 from datetime import datetime, timezone
+from functools import lru_cache
 
 import numpy
 
@@ -20,8 +21,16 @@ import numpy
 MANIFEST_SCHEMA = 1
 
 
+@lru_cache(maxsize=None)
 def git_describe(cwd=None) -> str:
-    """``git describe --always --dirty`` or ``"unknown"`` outside a repo."""
+    """``git describe --always --dirty`` or ``"unknown"`` outside a repo.
+
+    Memoized per process (keyed by *cwd*): the checkout cannot change
+    mid-run, and every per-unit manifest calls this — at
+    thousands-of-units scale one ``git`` fork per unit is measurable
+    overhead.  Call ``git_describe.cache_clear()`` if a test mutates
+    the repository under a cwd it already described.
+    """
     try:
         out = subprocess.run(
             ["git", "describe", "--always", "--dirty", "--tags"],

@@ -60,6 +60,8 @@ def render_endpoint(spool, path: str,
                            summary["units_done"])
         registry.set_gauge("telemetry.units_running",
                            len(summary["units_running"]))
+        registry.set_gauge("telemetry.units_cached",
+                           summary.get("units_cached", 0))
         registry.set_gauge("telemetry.commands", summary["commands"])
         if summary.get("eta_s") is not None:
             registry.set_gauge("telemetry.eta_s", summary["eta_s"])

@@ -46,10 +46,19 @@ What does NOT come for free is *reproducibility discipline*:
   :class:`~repro.obs.CommandProfiler` makes each unit profile its host
   command bus; dumps ship home in the result envelope and fold in
   submission order.
+* **Results are cacheable** — a caller-supplied
+  :class:`~repro.cache.ResultCache` makes the engine consult a
+  content-addressed store before dispatching each unit and publish the
+  result envelope (value + metrics + spans + wall) as each unit
+  completes, buying unit-level resume after a crash, in-flight dedup
+  of identical units, and warm re-runs whose stdout / folded metrics /
+  history rows are byte-identical to cold ones (hits replay their
+  stored per-unit metrics through the same submission-order fold).
 """
 
 from __future__ import annotations
 
+import copy
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -159,6 +168,15 @@ class UnitOutcome:
     #: Per-opcode command-bus profile (``CommandProfiler.as_dict``
     #: form; only populated when the run profiles).
     profile: dict | None = None
+    #: Span timeline the unit recorded (``SpanTracker.as_timeline``
+    #: form; only populated on cache-captured or cached runs).
+    spans: list | None = None
+    #: True when this outcome was served from the result cache
+    #: (``attempts == 0``: the unit never executed this run).
+    cached: bool = False
+    #: True when this outcome was fanned out from an identical unit
+    #: earlier in the same run (in-flight dedup).
+    coalesced: bool = False
 
     @property
     def ok(self) -> bool:
@@ -187,7 +205,19 @@ class ParallelRun:
     @property
     def retries(self) -> int:
         """Extra attempts spent recovering crashed/failed units."""
-        return sum(outcome.attempts - 1 for outcome in self.outcomes)
+        # max(…, 0): cached/coalesced outcomes carry attempts == 0.
+        return sum(max(outcome.attempts - 1, 0)
+                   for outcome in self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        """Units served from the result cache without executing."""
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def deduped(self) -> int:
+        """Units coalesced onto an identical in-flight unit."""
+        return sum(1 for outcome in self.outcomes if outcome.coalesced)
 
     def manifests(self) -> list[dict]:
         """Per-unit manifests, input order — worker-count independent."""
@@ -216,6 +246,8 @@ class _UnitEnvelope:
     metrics: dict | None = None
     wall_s: float | None = None
     profile: dict | None = None
+    #: Span timeline (capture mode only — cache publishing needs it).
+    spans: list | None = None
 
 
 def _publish(sink, kind: str, **fields) -> None:
@@ -249,20 +281,22 @@ def _unit_done_fields(registry, spans, origin_ts, profiler, wall_s,
     return fields
 
 
-def _call_unit(unit: WorkUnit, telemetry=None,
-               profile: bool = False) -> Any:
+def _call_unit(unit: WorkUnit, telemetry=None, profile: bool = False,
+               capture: bool = False) -> Any:
     """Top-level trampoline the pool pickles instead of the unit fn.
 
     Runs in the worker process: binds a fresh ambient bundle for the
     unit's duration and ships the registry (plus measured wall and any
     profile) home in a :class:`_UnitEnvelope`.  With *telemetry*, the
     worker additionally publishes ``unit-start`` / ``heartbeat`` /
-    ``unit-done`` events into the spool — side channel only.
+    ``unit-done`` events into the spool — side channel only.  With
+    *capture* (cache-backed runs), the span timeline ships home too so
+    the published cache envelope is complete.
     """
     global _unit_obs
     live = telemetry is not None
     registry = MetricsRegistry()
-    spans = SpanTracker() if (live or profile) else None
+    spans = SpanTracker() if (live or profile or capture) else None
     origin_ts = time.time() if spans is not None else None
     profiler = CommandProfiler(spans=spans) if profile else None
     sink = telemetry.sink(unit.unit_id) if live else None
@@ -295,13 +329,16 @@ def _call_unit(unit: WorkUnit, telemetry=None,
         metrics=dump if any(dump.values()) else None,
         wall_s=round(wall_s, 6),
         profile=(profiler.as_dict()
-                 if profiler is not None and profiler.commands else None))
+                 if profiler is not None and profiler.commands else None),
+        spans=(spans.as_timeline()
+               if capture and spans is not None and spans.spans
+               else None))
 
 
 def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
               max_attempts: int = 2, quarantine: bool = False,
               log=None, metrics=None, telemetry=None,
-              profiler=None) -> ParallelRun:
+              profiler=None, cache=None) -> ParallelRun:
     """Execute *units*, return outcomes in input order.
 
     ``workers=1`` runs every unit inline in this process — the exact
@@ -328,6 +365,17 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
     *profiler*, when given, is a :class:`repro.obs.CommandProfiler`
     that receives every unit's per-opcode command-bus attribution,
     folded in submission order exactly like metrics.
+
+    *cache*, when given, is a :class:`repro.cache.ResultCache`: each
+    unit is content-addressed by its recipe and looked up before
+    dispatch.  Hits skip execution and replay their stored value,
+    metrics, and spans at the unit's submission-order position, so the
+    run's outputs stay byte-identical to an uncached run; misses
+    execute normally and publish their envelope as they complete
+    (so a killed sweep resumes unit-by-unit); identical units within
+    one call execute once and fan out.  With ``cache.verify``, one hit
+    per run is re-executed and diffed against its stored envelope
+    (:class:`repro.errors.CacheError` on divergence).
     """
     if workers < 1:
         raise ConfigError("workers must be >= 1")
@@ -344,7 +392,13 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
     if coordinator is not None:
         _publish(coordinator, "run-start", units_total=len(units),
                  workers=workers)
-    if workers == 1:
+    if cache is not None:
+        run = _run_cached(units, workers, max_attempts=max_attempts,
+                          quarantine=quarantine, log=log,
+                          metrics=metrics, telemetry=telemetry,
+                          profiler=profiler, cache=cache,
+                          coordinator=coordinator)
+    elif workers == 1:
         run = _run_inline(units, log=log, metrics=metrics,
                           telemetry=telemetry, profiler=profiler)
     else:
@@ -359,30 +413,39 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
             if profiler is not None and outcome.profile:
                 profiler.merge(outcome.profile)
     if coordinator is not None:
-        _publish(coordinator, "run-done",
-                 units_done=sum(1 for o in run.outcomes if o.ok),
-                 quarantined=len(run.quarantined),
-                 retries=run.retries)
+        done_fields: dict = {
+            "units_done": sum(1 for o in run.outcomes if o.ok),
+            "quarantined": len(run.quarantined),
+            "retries": run.retries,
+        }
+        if cache is not None:
+            done_fields["cache"] = cache.summary()
+        _publish(coordinator, "run-done", **done_fields)
     return run
 
 
 def _run_inline(units: Sequence[WorkUnit], log=None, metrics=None,
-                telemetry=None, profiler=None) -> ParallelRun:
+                telemetry=None, profiler=None, capture: bool = False,
+                profile: bool = False, on_result=None) -> ParallelRun:
     global _unit_obs
     live = telemetry is not None
     outcomes = []
     for unit in units:
         # Without telemetry the unit records straight into the caller's
-        # registry (the exact sequential path); with it, a fresh
+        # registry (the exact sequential path); with it — or in capture
+        # mode, where the cache needs each unit's own dump — a fresh
         # per-unit registry feeds heartbeats and the unit-done snapshot
         # and is folded into the caller's afterwards — the same
         # submission-order fold the pool performs, so the final
         # registry is byte-identical either way.
-        unit_metrics = MetricsRegistry() if live else metrics
-        spans = SpanTracker() if (live or profiler is not None) else None
+        unit_metrics = (MetricsRegistry() if (live or capture)
+                        else metrics)
+        spans = (SpanTracker()
+                 if (live or capture or profiler is not None or profile)
+                 else None)
         origin_ts = time.time() if spans is not None else None
         unit_prof = (CommandProfiler(spans=spans)
-                     if profiler is not None else None)
+                     if (profiler is not None or profile) else None)
         sink = telemetry.sink(unit.unit_id) if live else None
         heartbeat = None
         if sink is not None:
@@ -417,16 +480,204 @@ def _run_inline(units: Sequence[WorkUnit], log=None, metrics=None,
             profiler.merge(unit_prof)
         if log is not None:
             log.info("unit-done", unit=unit.unit_id, attempts=1)
-        outcomes.append(UnitOutcome(unit_id=unit.unit_id, value=value,
-                                    manifest=unit.manifest(),
-                                    wall_s=round(wall_s, 6)))
+        outcome = UnitOutcome(unit_id=unit.unit_id, value=value,
+                              manifest=unit.manifest(),
+                              wall_s=round(wall_s, 6))
+        if capture:
+            dump = unit_metrics.as_dict()
+            outcome.metrics = dump if any(dump.values()) else None
+            if spans is not None and spans.spans:
+                outcome.spans = spans.as_timeline()
+            if unit_prof is not None and unit_prof.commands:
+                outcome.profile = unit_prof.as_dict()
+        if on_result is not None:
+            on_result(unit, outcome)
+        outcomes.append(outcome)
     return ParallelRun(outcomes=outcomes, workers=1)
+
+
+def _run_cached(units: Sequence[WorkUnit], workers: int, *,
+                max_attempts: int, quarantine: bool, log=None,
+                metrics=None, telemetry=None, profiler=None,
+                cache=None, coordinator=None) -> ParallelRun:
+    """Cache-backed execution: plan, execute misses, replay hits.
+
+    Three-way partition in submission order — **hits** (stored envelope
+    found: skip execution), **followers** (a unit with the identical
+    execution recipe — same callable, arguments, and code revision;
+    only its id/meta differ — appeared earlier this run: fan its
+    outcome out), and **leaders** (everything else, plus uncachable
+    units: execute).  Leaders run through the
+    normal inline/pool machinery in *capture* mode so each unit's own
+    metrics dump comes back, and publish their envelope as they finish
+    (a killed sweep therefore resumes unit-by-unit).  The caller's
+    metrics/profiler fold then walks ALL units in submission order —
+    hits replay their stored dumps at their original position — which
+    is what keeps a warm run's folded registry byte-identical to a
+    cold one.
+    """
+    by_id = {unit.unit_id: unit for unit in units}
+    keymap: dict[str, str] = {}
+    matmap: dict[str, dict] = {}
+    first_by_recipe: dict[str, str] = {}
+    hit_envelopes: dict[str, Any] = {}
+    followers: dict[str, str] = {}
+    to_run: list[WorkUnit] = []
+    for unit in units:
+        keyed = cache.keyed(unit)
+        if keyed is None:
+            # Uncachable recipe: always execute, never publish.
+            to_run.append(unit)
+            continue
+        key, material = keyed
+        keymap[unit.unit_id] = key
+        matmap[unit.unit_id] = material
+        # Dedup keys on the execution recipe (unit id / seed / meta
+        # dropped — the callable never sees them), because run_units
+        # already rejects duplicate unit ids: identical work under two
+        # ids is the only duplicate shape that can reach this loop.
+        recipe = cache.recipe_key(material)
+        if recipe in first_by_recipe:
+            followers[unit.unit_id] = first_by_recipe[recipe]
+            cache.note_dedup()
+            continue
+        first_by_recipe[recipe] = unit.unit_id
+        envelope = cache.lookup(key)
+        if envelope is not None:
+            hit_envelopes[unit.unit_id] = envelope
+        else:
+            to_run.append(unit)
+
+    def publish_outcome(unit: WorkUnit, outcome: UnitOutcome) -> None:
+        key = keymap.get(unit.unit_id)
+        if key is None or not outcome.ok:
+            return
+        cache.publish_unit(key, matmap[unit.unit_id], unit.unit_id,
+                           value=outcome.value,
+                           metrics=outcome.metrics,
+                           spans=outcome.spans,
+                           wall_s=outcome.wall_s,
+                           profile=outcome.profile)
+
+    if not to_run:
+        # 100% warm (or empty): no pool is ever spawned.
+        sub = ParallelRun(outcomes=[], workers=workers)
+    elif workers == 1:
+        sub = _run_inline(to_run, log=log, telemetry=telemetry,
+                          capture=True, profile=profiler is not None,
+                          on_result=publish_outcome)
+    else:
+        sub = _run_pool(to_run, workers, max_attempts=max_attempts,
+                        quarantine=quarantine, log=log,
+                        telemetry=telemetry,
+                        profile=profiler is not None,
+                        coordinator=coordinator, capture=True,
+                        on_result=publish_outcome)
+    executed = {outcome.unit_id: outcome for outcome in sub.outcomes}
+
+    outcomes: list[UnitOutcome] = []
+    done: dict[str, UnitOutcome] = {}
+    for unit in units:
+        uid = unit.unit_id
+        if uid in executed:
+            outcome = executed[uid]
+        elif uid in hit_envelopes:
+            envelope = hit_envelopes[uid]
+            outcome = UnitOutcome(
+                unit_id=uid, value=envelope.value, attempts=0,
+                manifest=unit.manifest(), metrics=envelope.metrics,
+                spans=envelope.spans, wall_s=envelope.wall_s,
+                profile=envelope.profile, cached=True)
+            _replay_unit_events(telemetry, outcome)
+            if log is not None:
+                log.info("unit-cached", unit=uid,
+                         key=keymap[uid][:12])
+        else:
+            # Follower: fan out the first identical unit's outcome
+            # (deep-copied so callers mutating one result cannot
+            # alias the other, matching independent execution).
+            leader = done[followers[uid]]
+            outcome = UnitOutcome(
+                unit_id=uid, value=copy.deepcopy(leader.value),
+                attempts=0, quarantined=leader.quarantined,
+                error=leader.error, manifest=unit.manifest(),
+                metrics=leader.metrics, spans=leader.spans,
+                wall_s=leader.wall_s, profile=leader.profile,
+                cached=leader.cached, coalesced=True)
+            # A follower's store key differs from its leader's (the
+            # unit id is part of it), so publish its envelope too —
+            # the next warm run then hits under either id.
+            if outcome.ok:
+                cache.publish_unit(keymap[uid], matmap[uid], uid,
+                                   value=outcome.value,
+                                   metrics=outcome.metrics,
+                                   spans=outcome.spans,
+                                   wall_s=outcome.wall_s,
+                                   profile=outcome.profile)
+            _replay_unit_events(telemetry, outcome)
+            if log is not None:
+                log.info("unit-coalesced", unit=uid,
+                         leader=followers[uid])
+        done[uid] = outcome
+        outcomes.append(outcome)
+        # The one fold: every unit, submission order, hits included.
+        if metrics is not None and outcome.metrics:
+            metrics.merge(outcome.metrics)
+        if profiler is not None and outcome.profile:
+            profiler.merge(outcome.profile)
+    if getattr(cache, "verify", False) and hit_envelopes:
+        _verify_sampled_hit(cache, hit_envelopes, by_id, keymap, log)
+    return ParallelRun(outcomes=outcomes, workers=workers,
+                       stalled=sub.stalled)
+
+
+def _replay_unit_events(telemetry, outcome: UnitOutcome) -> None:
+    """Publish start/done telemetry for a unit that never executed, so
+    live progress and the distributed timeline count cached and
+    coalesced units as completed (flagged ``cached``/``coalesced``)."""
+    if telemetry is None:
+        return
+    sink = telemetry.sink(outcome.unit_id)
+    _publish(sink, "unit-start", **unit_start_fields())
+    counters = (outcome.metrics or {}).get("counters", {})
+    fields: dict = {
+        "wall_s": round(outcome.wall_s or 0.0, 6),
+        "commands": sum(counters.get(name, 0)
+                        for name in COMMAND_COUNTERS),
+        "cached": True,
+    }
+    if outcome.coalesced:
+        fields["coalesced"] = True
+    if outcome.metrics:
+        fields["metrics"] = outcome.metrics
+    if outcome.spans:
+        fields["spans"] = outcome.spans
+        fields["origin_ts"] = round(time.time(), 6)
+    _publish(sink, "unit-done", **fields)
+
+
+def _verify_sampled_hit(cache, hit_envelopes: dict, by_id: dict,
+                        keymap: dict, log) -> None:
+    """Re-execute one deterministically sampled hit and diff it against
+    the stored envelope (``--cache-verify``).
+
+    The sample is the hit with the smallest key, so two verify runs of
+    the same sweep check the same unit.  The re-execution runs through
+    the worker trampoline with a detached ambient registry — nothing it
+    records can reach the caller's fold.
+    """
+    uid = min(hit_envelopes, key=lambda unit_id: keymap[unit_id])
+    fresh = _call_unit(by_id[uid], None, False, True)
+    cache.check_hit(hit_envelopes[uid], fresh.value, fresh.metrics)
+    if log is not None:
+        log.info("cache-verify", unit=uid, key=keymap[uid][:12])
 
 
 def _run_pool(units: Sequence[WorkUnit], workers: int, *,
               max_attempts: int, quarantine: bool, log=None,
               telemetry=None, profile: bool = False,
-              coordinator=None) -> ParallelRun:
+              coordinator=None, capture: bool = False,
+              on_result=None) -> ParallelRun:
     slots: dict[str, UnitOutcome] = {}
     attempts = {unit.unit_id: 0 for unit in units}
     pending = list(units)
@@ -438,7 +689,9 @@ def _run_pool(units: Sequence[WorkUnit], workers: int, *,
                                       telemetry=telemetry,
                                       profile=profile,
                                       coordinator=coordinator,
-                                      stalled=stalled)
+                                      stalled=stalled,
+                                      capture=capture,
+                                      on_result=on_result)
         for unit, error in failed:
             if not quarantine:
                 raise error
@@ -480,7 +733,8 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
                 attempts: dict[str, int], slots: dict[str, UnitOutcome],
                 max_attempts: int, log, telemetry=None,
                 profile: bool = False, coordinator=None,
-                stalled: list | None = None):
+                stalled: list | None = None, capture: bool = False,
+                on_result=None):
     """One pool lifetime: run *pending* until done or the pool breaks.
 
     Returns ``(retryable, failed)`` — units to resubmit on a fresh pool,
@@ -502,7 +756,7 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
         for unit in pending:
             attempts[unit.unit_id] += 1
             futures[pool.submit(_call_unit, unit, telemetry,
-                                profile)] = unit
+                                profile, capture)] = unit
         not_done = set(futures)
         while not_done:
             done, not_done = wait(not_done, timeout=wait_timeout,
@@ -532,18 +786,24 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
                     unit_metrics = None
                     unit_wall = None
                     unit_profile = None
+                    unit_spans = None
                     if isinstance(value, _UnitEnvelope):
                         unit_metrics = value.metrics
                         unit_wall = value.wall_s
                         unit_profile = value.profile
+                        unit_spans = value.spans
                         value = value.value
-                    slots[unit.unit_id] = UnitOutcome(
+                    outcome = UnitOutcome(
                         unit_id=unit.unit_id, value=value,
                         attempts=attempts[unit.unit_id],
                         manifest=unit.manifest(),
                         metrics=unit_metrics,
                         wall_s=unit_wall,
-                        profile=unit_profile)
+                        profile=unit_profile,
+                        spans=unit_spans)
+                    slots[unit.unit_id] = outcome
+                    if on_result is not None:
+                        on_result(unit, outcome)
             if broken:
                 # Every unit still in flight died with the pool; re-run
                 # them all on a fresh pool (bounded by max_attempts).

@@ -1,0 +1,247 @@
+"""Cache-backed execution: resume, dedup, replay, byte-identity.
+
+Worker functions live at module top level (the pool pickles them by
+reference) and count their executions through marker files, so tests
+can assert "this unit never ran again" — the cache's whole point.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.errors import CacheError
+from repro.obs import MetricsRegistry, TelemetryConfig, read_spool
+from repro.obs.live import progress
+from repro.parallel import WorkUnit, run_units, unit_observability
+
+
+def counted_square(value: int, counter_dir: str) -> int:
+    """Squares *value*, leaving one execution tally per call."""
+    obs = unit_observability()
+    obs.metrics.inc("unit.calls")
+    obs.metrics.observe("unit.value", value)
+    with obs.spans.span("square"):
+        path = os.path.join(counter_dir, f"count-{value}")
+        with open(path, "a") as handle:
+            handle.write("x")
+        return value * value
+
+
+def listing(value: int) -> list[int]:
+    return [value, value + 1]
+
+
+def raises_until_marked(value: int, marker: str) -> int:
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("raised once")
+        raise RuntimeError("transient failure")
+    return value * value
+
+
+def crash_if_unmarked(value: int, marker: str) -> int:
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed once")
+        os._exit(13)
+    return value * value
+
+
+def always_raises(value: int) -> int:
+    raise ValueError(f"bad unit {value}")
+
+
+def uncachable_passthrough(value: int, sink: object) -> int:
+    return value
+
+
+def _executions(counter_dir, value: int) -> int:
+    path = os.path.join(str(counter_dir), f"count-{value}")
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
+
+
+def _units(values, counter_dir, prefix="unit"):
+    return [WorkUnit(unit_id=f"{prefix}/{value}", fn=counted_square,
+                     args=(value, str(counter_dir)))
+            for value in values]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_warm_run_serves_every_unit_without_executing(tmp_path, workers):
+    units = _units([2, 3, 5], tmp_path)
+    cold_cache = ResultCache(tmp_path / "store")
+    cold = run_units(units, workers, cache=cold_cache)
+    assert cold.values == [4, 9, 25]
+    assert cold_cache.summary()["misses"] == 3
+    assert cold_cache.stores == 3
+
+    warm_cache = ResultCache(tmp_path / "store")
+    warm = run_units(units, workers, cache=warm_cache)
+    assert warm.values == cold.values
+    assert warm.cache_hits == 3 and warm.retries == 0
+    assert all(o.cached and o.attempts == 0 for o in warm.outcomes)
+    assert warm_cache.summary() == {"hits": 3, "misses": 0, "dedups": 0,
+                                    "stores": 0, "errors": 0,
+                                    "hit_ratio": 1.0}
+    for value in (2, 3, 5):
+        assert _executions(tmp_path, value) == 1  # never ran again
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_folded_metrics_identical_cold_warm_and_uncached(tmp_path,
+                                                         workers):
+    units = _units([2, 3], tmp_path)
+    reference = MetricsRegistry()
+    run_units(units, workers, metrics=reference)
+
+    cold_metrics = MetricsRegistry()
+    cold = run_units(units, workers, metrics=cold_metrics,
+                     cache=ResultCache(tmp_path / "store"))
+    warm_metrics = MetricsRegistry()
+    warm = run_units(units, workers, metrics=warm_metrics,
+                     cache=ResultCache(tmp_path / "store"))
+    assert cold_metrics.as_dict() == reference.as_dict()
+    assert warm_metrics.as_dict() == reference.as_dict()
+    assert [o.manifest for o in warm.outcomes] == \
+        [o.manifest for o in cold.outcomes]
+    # Hits replay the stored span timeline at the unit's position.
+    assert [o.spans for o in warm.outcomes] == \
+        [o.spans for o in cold.outcomes]
+
+
+def test_interrupted_sweep_resumes_from_published_units(tmp_path):
+    """Units completed before a mid-sweep failure publish as they
+    finish, so the re-run only executes what never completed."""
+    marker = str(tmp_path / "raise-once.marker")
+    units = (_units([2], tmp_path)
+             + [WorkUnit(unit_id="flaky", fn=raises_until_marked,
+                         args=(6, marker))]
+             + _units([3], tmp_path))
+    with pytest.raises(RuntimeError, match="transient"):
+        run_units(units, workers=1, max_attempts=1,
+                  cache=ResultCache(tmp_path / "store"))
+    assert _executions(tmp_path, 2) == 1
+
+    resumed_cache = ResultCache(tmp_path / "store")
+    resumed = run_units(units, workers=1, max_attempts=1,
+                        cache=resumed_cache)
+    assert resumed.values == [4, 36, 9]
+    assert _executions(tmp_path, 2) == 1  # resumed, not re-run
+    assert resumed_cache.hits == 1
+    assert resumed_cache.stores == 2  # flaky + the tail unit
+
+
+def test_resume_survives_worker_crash(tmp_path):
+    """A BrokenProcessPool mid-sweep must not cost completed units."""
+    marker = str(tmp_path / "crash-once.marker")
+    units = (_units([2, 3], tmp_path)
+             + [WorkUnit(unit_id="crasher", fn=crash_if_unmarked,
+                         args=(5, marker))])
+    first = run_units(units, workers=2, max_attempts=1, quarantine=True,
+                      cache=ResultCache(tmp_path / "store"))
+    assert [o.unit_id for o in first.quarantined] == ["crasher"]
+
+    resumed = run_units(units, workers=2, max_attempts=1,
+                        quarantine=True,
+                        cache=ResultCache(tmp_path / "store"))
+    assert resumed.values == [4, 9, 25]
+    assert not resumed.quarantined
+    assert resumed.cache_hits == 2
+    for value in (2, 3):
+        assert _executions(tmp_path, value) == 1
+
+
+def test_identical_recipes_execute_once_and_fan_out(tmp_path):
+    units = (_units([4], tmp_path, "lead")
+             + _units([4], tmp_path, "tail")   # same recipe, new id
+             + _units([5], tmp_path, "solo"))
+    cache = ResultCache(tmp_path / "store")
+    run = run_units(units, workers=1, cache=cache)
+    assert run.values == [16, 16, 25]
+    assert run.deduped == 1 and cache.dedups == 1
+    assert _executions(tmp_path, 4) == 1      # executed once, fanned out
+    follower = run.outcomes[1]
+    assert follower.coalesced and follower.attempts == 0
+    assert follower.manifest["unit"] == "tail/4"
+    # The follower's envelope is published under its own key: a later
+    # run of just that unit is a pure hit.
+    alone = run_units(_units([4], tmp_path, "tail"), workers=1,
+                      cache=ResultCache(tmp_path / "store"))
+    assert alone.cache_hits == 1
+    assert _executions(tmp_path, 4) == 1
+
+
+def test_fanned_out_values_do_not_alias(tmp_path):
+    units = [WorkUnit(unit_id="a", fn=listing, args=(1,)),
+             WorkUnit(unit_id="b", fn=listing, args=(1,))]
+    run = run_units(units, workers=1,
+                    cache=ResultCache(tmp_path / "store"))
+    leader, follower = run.outcomes
+    leader.value.append(99)
+    assert follower.value == [1, 2]  # deep-copied, not shared
+
+
+def test_followers_mirror_a_quarantined_leader(tmp_path):
+    units = [WorkUnit(unit_id="a", fn=always_raises, args=(7,)),
+             WorkUnit(unit_id="b", fn=always_raises, args=(7,))]
+    cache = ResultCache(tmp_path / "store")
+    run = run_units(units, workers=2, max_attempts=1, quarantine=True,
+                    cache=cache)
+    assert [o.unit_id for o in run.quarantined] == ["a", "b"]
+    assert cache.stores == 0  # failures are never published
+
+
+def test_uncachable_units_always_execute(tmp_path):
+    unit = [WorkUnit(unit_id="foreign", fn=uncachable_passthrough,
+                     args=(3, object()))]
+    cache = ResultCache(tmp_path / "store")
+    assert run_units(unit, workers=1, cache=cache).values == [3]
+    assert cache.stores == 0 and cache.hits == cache.misses == 0
+    again = ResultCache(tmp_path / "store")
+    rerun = run_units(unit, workers=1, cache=again)
+    assert rerun.values == [3] and rerun.cache_hits == 0
+
+
+def test_verify_passes_on_faithful_store_and_rejects_tampering(tmp_path):
+    units = _units([2, 3], tmp_path)
+    store = tmp_path / "store"
+    run_units(units, workers=1, cache=ResultCache(store))
+    verified = run_units(units, workers=1,
+                         cache=ResultCache(store, verify=True))
+    assert verified.cache_hits == 2
+
+    # Tamper with every stored envelope's metrics: the sampled
+    # re-execution must now diverge and abort the run.
+    tampered = ResultCache(store)
+    for unit in units:
+        key, material = tampered.keyed(unit)
+        envelope = tampered.lookup(key)
+        tampered.publish_unit(key, material, unit.unit_id,
+                              value=envelope.value,
+                              metrics={"counters": {"bogus": 1}},
+                              wall_s=envelope.wall_s)
+    with pytest.raises(CacheError, match="verify failed"):
+        run_units(units, workers=1,
+                  cache=ResultCache(store, verify=True))
+
+
+def test_telemetry_counts_cached_units_as_done(tmp_path):
+    units = _units([2, 3], tmp_path)
+    store = tmp_path / "store"
+    run_units(units, workers=1, cache=ResultCache(store))
+    telemetry = TelemetryConfig(spool=str(tmp_path / "spool"),
+                                run_id="warm", heartbeats=False)
+    warm_cache = ResultCache(store)
+    run_units(units, workers=1, cache=warm_cache, telemetry=telemetry)
+    events = read_spool(telemetry.spool)
+    summary = progress(events)
+    assert summary["units_done"] == summary["units_total"] == 2
+    assert summary["units_cached"] == 2
+    done = [e for e in events if e["kind"] == "run-done"]
+    assert done[-1]["cache"] == warm_cache.summary()
