@@ -42,6 +42,9 @@ class CacheEnvelope:
     wall_s: float | None = None
     #: ``CommandProfiler.as_dict()`` per-opcode attribution.
     profile: dict | None = None
+    #: Dumped evidence nodes the unit's provenance ledger recorded
+    #: (None pre-evidence envelopes decode with the default).
+    evidence: list | None = None
     #: The key material (:func:`repro.cache.keys.unit_key_material`) —
     #: stored for stats/debugging, never re-hashed on the read path.
     material: dict = field(default_factory=dict)

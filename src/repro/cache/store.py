@@ -152,7 +152,8 @@ class ResultCache:
                      value, metrics: dict | None = None,
                      spans: list | None = None,
                      wall_s: float | None = None,
-                     profile: dict | None = None) -> None:
+                     profile: dict | None = None,
+                     evidence: list | None = None) -> None:
         """Wrap one completed unit's result into an envelope and store
         it.  This is the engine-facing entry point: the engine stays
         duck-typed against the cache object and never constructs a
@@ -160,6 +161,7 @@ class ResultCache:
         self.publish(CacheEnvelope(
             key=key, unit_id=unit_id, value=value, metrics=metrics,
             spans=spans, wall_s=wall_s, profile=profile,
+            evidence=evidence,
             material=material, value_digest=value_digest(value)))
 
     def check_hit(self, envelope: CacheEnvelope, value,

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from ..dram.commands import HammerMode
 from ..dram.patterns import AllOnes, DataPattern
 from ..errors import ExperimentError, ProfilingError, TransientFaultError
-from ..obs import NULL_OBS, Observability
+from ..obs import NULL_OBS, Observability, ev_error, ev_refs, ev_value
 from ..softmc import SoftMCHost
 from .mapping_re import CouplingTopology, MappingDiscovery, \
     discover_row_mapping
@@ -165,7 +165,7 @@ class TrrInference:
                     self._host, self.config.bank,
                     hammer_count=self.config.mapping_hammer_count,
                     probe_count=self.config.mapping_probe_count,
-                    pattern=self.config.pattern)
+                    pattern=self.config.pattern, obs=self._obs)
         return self._mapping_discovery
 
     @property
@@ -823,6 +823,27 @@ class TrrInference:
 
     # -- the full run ---------------------------------------------------------
 
+    @staticmethod
+    def _stage_evidence(detail) -> list[dict]:
+        """Evidence chain for one completed stage's detail payload.
+
+        REF-index lists get the trace-resolvable ``ref-indices`` shape;
+        everything else rides along as a labelled observation so no
+        stage ever concludes with an empty chain.
+        """
+        chain: list[dict] = []
+        if isinstance(detail, dict):
+            hits = detail.get("hits")
+            if isinstance(hits, (list, tuple)):
+                chain.append(ev_refs(hits, label="trr-hit-refs"))
+            rest = {key: value for key, value in detail.items()
+                    if key != "hits"}
+            if rest or not chain:
+                chain.append(ev_value("observations", rest))
+        else:
+            chain.append(ev_value("observations", detail))
+        return chain
+
     def _stage(self, name: str, func, default, confidence: dict):
         """Run one inference stage, degrading gracefully when configured.
 
@@ -831,6 +852,11 @@ class TrrInference:
         confidence 0.0 instead of aborting the run; the caller marks the
         assembled profile ``partial``.  Without it the exception
         propagates unchanged.
+
+        Either way the stage's verdict lands in the evidence ledger: an
+        ``accepted`` node linking the observations that justified the
+        value, or a ``degraded`` node citing the error that forced the
+        default.
         """
         try:
             with self._obs.span("inference." + name):
@@ -844,9 +870,18 @@ class TrrInference:
             self._obs.event("stage-degraded", ps=self._host.now_ps,
                             stage=name, error=type(exc).__name__)
             confidence[name] = 0.0
-            return default, {"degraded": type(exc).__name__,
-                             "error": str(exc)}
+            detail = {"degraded": type(exc).__name__, "error": str(exc)}
+            self._obs.evidence.decide(
+                name, default, outcome="degraded",
+                stage="inference." + name, confidence=0.0,
+                evidence=[ev_error(exc)], detail=detail,
+                host=self._host, profiler=self._obs.profiler)
+            return default, detail
         confidence[name] = 1.0
+        self._obs.evidence.decide(
+            name, value, stage="inference." + name, confidence=1.0,
+            evidence=self._stage_evidence(detail),
+            host=self._host, profiler=self._obs.profiler)
         return value, detail
 
     def run(self) -> InferredTrrProfile:
@@ -911,6 +946,12 @@ class TrrInference:
             persists = True
             persist_detail["note"] = ("corrected: watch probes poisoned "
                                       "by their own sampled init ACTs")
+            self._obs.evidence.decide(
+                "persistence", True, stage="inference.detection",
+                confidence=1.0,
+                evidence=[ev_value("recency", kind_detail)],
+                detail={"note": persist_detail["note"]},
+                host=self._host, profiler=self._obs.profiler)
         capacity, capacity_detail = self._stage(
             "capacity", lambda: self.estimate_capacity(period, detection),
             None, confidence)

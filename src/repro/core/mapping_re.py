@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from ..dram.mapping import RowMapping, available_schemes, make_mapping
 from ..dram.patterns import AllOnes, DataPattern
 from ..errors import MappingError
+from ..obs import NULL_OBS, ev_error, ev_probe
 from ..softmc import SoftMCHost
 
 
@@ -93,8 +94,8 @@ def _probe_adjacency(host: SoftMCHost, bank: int, probe_row: int,
 def discover_row_mapping(host: SoftMCHost, bank: int = 0,
                          hammer_count: int = 2_400_000,
                          probe_count: int = 12, window: int = 4,
-                         pattern: DataPattern | None = None
-                         ) -> MappingDiscovery:
+                         pattern: DataPattern | None = None,
+                         obs=None) -> MappingDiscovery:
     """Recover the row-address mapping and coupling topology.
 
     *hammer_count* must comfortably exceed the module's RowHammer
@@ -103,6 +104,7 @@ def discover_row_mapping(host: SoftMCHost, bank: int = 0,
     the strongest Table 1 modules after cascaded-run attenuation).
     """
     pattern = pattern or AllOnes()
+    obs = obs or getattr(host, "obs", None) or NULL_OBS
     num_rows = host.rows_per_bank
     # Spread probes over the bank, away from the edges so windows fit.
     # The per-probe jitter walks all low-address-bit residues: a scramble
@@ -118,8 +120,27 @@ def discover_row_mapping(host: SoftMCHost, bank: int = 0,
                                       window, pattern)
                 for row in probe_rows}
 
-    coupling = _classify_coupling(evidence)
-    scheme = _fit_scheme(evidence, coupling, num_rows)
+    probes = [ev_probe(row, probe.flipped, probe.testable)
+              for row, probe in sorted(evidence.items())]
+    try:
+        coupling = _classify_coupling(evidence)
+        scheme = _fit_scheme(evidence, coupling, num_rows)
+    except MappingError as err:
+        obs.evidence.decide(
+            "mapping_scheme", None, outcome="rejected",
+            stage="inference.mapping",
+            evidence=[*probes, ev_error(err)],
+            host=host, profiler=obs.profiler)
+        raise
+    obs.evidence.decide(
+        "coupling", coupling.value, stage="inference.mapping",
+        confidence=1.0, evidence=probes,
+        host=host, profiler=obs.profiler)
+    obs.evidence.decide(
+        "mapping_scheme", scheme, stage="inference.mapping",
+        confidence=1.0, evidence=probes,
+        detail={"probe_rows": list(probe_rows)},
+        host=host, profiler=obs.profiler)
     return MappingDiscovery(scheme=scheme,
                             mapping=make_mapping(scheme, num_rows),
                             coupling=coupling, evidence=evidence)

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 from ..dram.patterns import DataPattern
 from ..errors import ExperimentError, TransientFaultError
-from ..obs import NULL_OBS, Observability
+from ..obs import NULL_OBS, Observability, ev_refs, ev_value, ev_window
 from ..softmc import SoftMCHost
 
 
@@ -183,8 +183,16 @@ class RefreshCalibrator:
         turns that into a :class:`~repro.errors.TransientFaultError` so
         a hardened caller can try another profiled row.
         """
+        evidence = self._obs.evidence
         with self._obs.span("calibrator.find_cycle", bank=bank, row=row):
             if check_decay and self.probe(bank, row, retention_ps, 0):
+                evidence.decide(
+                    "refresh_cycle", None, outcome="rejected",
+                    stage="calibrator.find_cycle",
+                    evidence=[ev_value("decay-check",
+                                       {"bank": bank, "row": row,
+                                        "survived_without_refs": True})],
+                    host=self._host, profiler=self._obs.profiler)
                 raise TransientFaultError(
                     f"row {row} (bank {bank}) no longer decays within its "
                     "retention bucket — unusable for cycle measurement")
@@ -198,15 +206,34 @@ class RefreshCalibrator:
                                                coarse_start=0,
                                                coarse_step=coarse_step)
             cycle = second - first
+            covering = [ev_refs([first, second], label="covering-refs")]
             if cycle <= 0 or cycle > max_cycle:
+                evidence.decide(
+                    "refresh_cycle", cycle, outcome="rejected",
+                    stage="calibrator.find_cycle", evidence=covering,
+                    detail={"bank": bank, "row": row,
+                            "max_cycle": max_cycle},
+                    host=self._host, profiler=self._obs.profiler)
                 raise ExperimentError(f"implausible refresh cycle {cycle}")
             if check_decay and cycle < coarse_step:
                 # Two back-to-back "coverings" this close mean the row
                 # went immortal mid-measurement, not that the cycle is
                 # tiny.
+                evidence.decide(
+                    "refresh_cycle", cycle, outcome="rejected",
+                    stage="calibrator.find_cycle", evidence=covering,
+                    detail={"bank": bank, "row": row,
+                            "coarse_step": coarse_step,
+                            "drifted": True},
+                    host=self._host, profiler=self._obs.profiler)
                 raise TransientFaultError(
                     f"row {row} (bank {bank}) measured cycle {cycle} < "
                     f"{coarse_step}: retention drifted mid-measurement")
+            evidence.decide(
+                "refresh_cycle", cycle, stage="calibrator.find_cycle",
+                confidence=1.0, evidence=covering,
+                detail={"bank": bank, "row": row},
+                host=self._host, profiler=self._obs.profiler)
             return cycle
 
     def calibrate_rows(self, rows: list[tuple[int, int]], retention_ps: int,
@@ -244,6 +271,13 @@ class RefreshCalibrator:
             immortal = [(bank, row) for bank, row in rows
                         if self.probe(bank, row, retention_ps, 0)]
             rows = [key for key in rows if key not in immortal]
+            if immortal:
+                self._obs.evidence.decide(
+                    "refresh_phases", None, outcome="rejected",
+                    stage="calibrator.calibrate",
+                    evidence=[ev_value("immortal-rows", immortal)],
+                    detail={"reason": "survived a REF-free decay check"},
+                    host=self._host, profiler=self._obs.profiler)
         else:
             immortal = []
         coarse_step = max(cycle // 32, window)
@@ -271,6 +305,13 @@ class RefreshCalibrator:
         for bank, row in immortal:
             schedule.confidence[(bank, row)] = 0.0
         if missing:
+            self._obs.evidence.decide(
+                "refresh_phases", None, outcome="rejected",
+                stage="calibrator.calibrate",
+                evidence=[ev_value("uncovered-rows", missing)],
+                detail={"reason": "never covered within 2 cycles",
+                        "dropped": drop_uncovered},
+                host=self._host, profiler=self._obs.profiler)
             if not drop_uncovered:
                 raise ExperimentError(
                     f"rows never covered by regular refresh: {missing}")
@@ -295,6 +336,14 @@ class RefreshCalibrator:
                     found = chunk_start % cycle
                     break
             if found is None:
+                self._obs.evidence.decide(
+                    "refresh_phases", None, outcome="rejected",
+                    stage="calibrator.calibrate",
+                    evidence=[ev_value("refinement-lost",
+                                       {"bank": bank, "row": row,
+                                        "coarse_phase": target})],
+                    detail={"dropped": drop_uncovered},
+                    host=self._host, profiler=self._obs.profiler)
                 if drop_uncovered:
                     schedule.confidence[(bank, row)] = 0.0
                     continue
@@ -305,6 +354,16 @@ class RefreshCalibrator:
             for bank, row in ordered:
                 self._confirm(schedule, bank, row, retention_ps,
                               confirm_probes)
+        windows = {f"{bank}:{row}": list(entry) for (bank, row), entry
+                   in sorted(schedule.phase_windows.items())}
+        self._obs.evidence.decide(
+            "refresh_phases", len(schedule.phase_windows),
+            stage="calibrator.calibrate",
+            confidence=(min(schedule.confidence.values())
+                        if schedule.confidence else 1.0),
+            evidence=[ev_value("phase-windows", windows),
+                      ev_value("cycle-refs", cycle)],
+            host=self._host, profiler=self._obs.profiler)
         return schedule
 
     def _confirm(self, schedule: RefreshSchedule, bank: int, row: int,
@@ -345,8 +404,23 @@ class RefreshCalibrator:
                 entry = (chunk_start % cycle, window)
                 schedule.phase_windows[(bank, row)] = entry
                 schedule.confidence[(bank, row)] = 1.0
+                self._obs.evidence.decide(
+                    "refresh_phase", list(entry),
+                    stage="calibrator.recalibrate", confidence=1.0,
+                    evidence=[ev_window(chunk_start,
+                                        chunk_start + window,
+                                        label="covering-ref-window")],
+                    detail={"bank": bank, "row": row},
+                    host=self._host, profiler=self._obs.profiler)
                 return entry
             probed += window
+        self._obs.evidence.decide(
+            "refresh_phase", None, outcome="rejected",
+            stage="calibrator.recalibrate",
+            evidence=[ev_value("uncovered",
+                               {"bank": bank, "row": row,
+                                "probed_refs": probed})],
+            host=self._host, profiler=self._obs.profiler)
         raise ExperimentError(
             f"row {row} (bank {bank}) found no covering REF during "
             f"recalibration — broken refresh or wrong retention bucket?")

@@ -51,7 +51,7 @@ from typing import Iterable
 from ..dram.mapping import DirectMapping, RowMapping
 from ..dram.patterns import AllOnes, DataPattern
 from ..errors import ConfigError, RetryExhaustedError
-from ..obs import NULL_OBS, Observability
+from ..obs import NULL_OBS, Observability, ev_rows, ev_value
 from ..program import compile_program, payloads_enabled
 from ..softmc import SoftMCHost, SoftMCProgram
 from ..units import ms
@@ -162,6 +162,16 @@ class RowScout:
             banned.add(physical)
             self.stats.rows_quarantined += 1
             self._obs.metrics.inc("rowscout.rows_quarantined")
+            self._obs.evidence.decide(
+                "row_quarantine", physical, outcome="rejected",
+                stage="rowscout.quarantine", confidence=0.0,
+                evidence=[ev_value(
+                    "flaky-score",
+                    {"bank": bank, "physical": physical,
+                     "retries": self.flaky_scores.get((bank, physical),
+                                                      0)})],
+                detail={"bank": bank},
+                host=self._host, profiler=self._obs.profiler)
 
     def _note_flaky(self, bank: int, physical: int,
                     config: ProfilingConfig) -> None:
@@ -336,6 +346,15 @@ class RowScout:
                 if attempt:
                     self.stats.scan_restarts += 1
                     self._obs.metrics.inc("rowscout.scan_restarts")
+                    self._obs.evidence.decide(
+                        "scan_attempt", attempt, outcome="degraded",
+                        stage="rowscout.find_groups",
+                        evidence=[ev_value(
+                            "escalation-budget",
+                            {"max_t_ms": reference.max_t_ms,
+                             "attempts": reference.scan_attempts})],
+                        detail={"banks": [c.bank for c in configs]},
+                        host=self._host, profiler=self._obs.profiler)
                 results = self._escalate_once(configs, ranges, reference)
                 if results is not None:
                     return results
@@ -402,7 +421,7 @@ class RowScout:
             if all(self._validate_row(config, config.bank, row,
                                       t_lo_ps, t_ps)
                    for row in rows):
-                groups.append(RowGroup(
+                group = RowGroup(
                     bank=config.bank,
                     base_physical=base,
                     layout=config.layout,
@@ -411,9 +430,20 @@ class RowScout:
                     retention_ps=t_ps,
                     retention_lo_ps=t_lo_ps,
                     pattern=config.pattern,
-                ))
+                )
+                groups.append(group)
                 self.stats.groups_formed += 1
                 self._obs.metrics.inc("rowscout.groups_formed")
+                self._obs.evidence.decide(
+                    "row_group", group.layout.notation,
+                    stage="rowscout.form_groups", confidence=1.0,
+                    evidence=[ev_rows(rows, label="physical-rows"),
+                              ev_value("retention-bucket",
+                                       {"t_lo_ps": t_lo_ps,
+                                        "t_ps": t_ps})],
+                    detail={"bank": config.bank, "base": base,
+                            "rounds": config.validation_rounds},
+                    host=self._host, profiler=self._obs.profiler)
                 used.update(span_rows)
                 if len(groups) >= config.group_count:
                     break
@@ -458,4 +488,14 @@ class RowScout:
                 f"bucket ({t_lo_ps}, {t_ps}] ps")
         self.stats.groups_replaced += 1
         self._obs.metrics.inc("rowscout.groups_replaced")
+        self._obs.evidence.decide(
+            "group_replacement", replacement[0].base_physical,
+            stage="rowscout.replace_group", confidence=1.0,
+            evidence=[ev_rows(bad_group.physical_rows,
+                              label="quarantined-rows"),
+                      ev_rows(replacement[0].physical_rows,
+                              label="replacement-rows")],
+            detail={"bank": bad_group.bank,
+                    "bucket_ps": [t_lo_ps, t_ps]},
+            host=self._host, profiler=self._obs.profiler)
         return replacement[0]

@@ -40,7 +40,7 @@ from ..dram.commands import HammerMode
 from ..dram.mapping import DirectMapping, RowMapping
 from ..dram.patterns import AllZeros, DataPattern
 from ..errors import ConfigError
-from ..obs import NULL_OBS, Observability
+from ..obs import NULL_OBS, Observability, ev_refs, ev_rows, ev_value
 from ..program import compile_program, payloads_enabled
 from ..softmc import SoftMCHost, SoftMCProgram
 from .refclassifier import RefreshSchedule
@@ -419,14 +419,26 @@ class TrrAnalyzer:
                            patterns[(obs.bank, obs.logical_row)])
         host.wait(self.retention_ps)
         verified = []
+        disavowed: list[tuple[int, int]] = []
         for obs in observations:
             if obs.trr_refreshed and not host.read_row_mismatches(
                     obs.bank, obs.logical_row):
                 self.stats.hits_disavowed += 1
                 self._obs.metrics.inc("analyzer.hits_disavowed")
+                disavowed.append((obs.bank, obs.logical_row))
                 obs = dataclasses.replace(obs, regular_possible=True,
                                           confidence=0.0)
             verified.append(obs)
+        if disavowed:
+            self._obs.evidence.decide(
+                "trr_hits", len(disavowed), outcome="rejected",
+                stage="analyzer.verify_hits", confidence=0.0,
+                evidence=[ev_value("disavowed-rows",
+                                   [list(pair) for pair in disavowed])],
+                detail={"suspects": len(suspects),
+                        "note": "apparent TRR hits failed the zero-REF "
+                                "decay probe"},
+                host=host, profiler=self._obs.profiler)
         return verified
 
     # -- robust execution (majority vote + re-validation) ---------------------
@@ -486,6 +498,23 @@ class TrrAnalyzer:
                     continue
                 if not self.revalidate_group(group):
                     unstable.append(group_index)
+        if outliers or unstable:
+            # Only anomalous vote rounds leave a provenance node; clean
+            # consensus runs would flood the sidecar at one node per
+            # experiment.
+            self._obs.evidence.decide(
+                "vote_consensus", votes, outcome="degraded",
+                stage="analyzer.run_robust",
+                confidence=1.0 - outliers / (2 * votes * len(consensus)),
+                evidence=[
+                    ev_value("split-rows",
+                             [list(pair) for pair in sorted(split_rows)]),
+                    ev_refs(runs[-1].ref_indices,
+                            label="experiment-refs"),
+                ],
+                detail={"outliers": outliers,
+                        "unstable_groups": list(unstable)},
+                host=self._host, profiler=self._obs.profiler)
         return ExperimentResult(observations=consensus,
                                 ref_indices=runs[-1].ref_indices,
                                 dummy_rows=runs[-1].dummy_rows,
@@ -510,14 +539,31 @@ class TrrAnalyzer:
             host.wait(self.retention_ps)
             for logical in group.logical_rows:
                 if not host.read_row_mismatches(group.bank, logical):
+                    self._reject_group(group, logical, "retained past T")
                     return False
             for logical in group.logical_rows:
                 host.write_row(group.bank, logical, group.pattern)
             host.wait(group.retention_lo_ps)
             for logical in group.logical_rows:
                 if host.read_row_mismatches(group.bank, logical):
+                    self._reject_group(group, logical, "failed by T_lo")
                     return False
         return True
+
+    def _reject_group(self, group: RowGroup, logical: int,
+                      reason: str) -> None:
+        """Provenance node for a failed group re-validation."""
+        self._obs.evidence.decide(
+            "group_stability", False, outcome="rejected",
+            stage="analyzer.revalidate", confidence=0.0,
+            evidence=[ev_rows(group.logical_rows,
+                              label="group-rows"),
+                      ev_value("failed-row",
+                               {"bank": group.bank, "row": logical,
+                                "reason": reason})],
+            detail={"bank": group.bank,
+                    "retention_ps": group.retention_ps},
+            host=self._host, profiler=self._obs.profiler)
 
     def _hammer_dummies(self, dummies: dict[int, list[int]],
                         config: ExperimentConfig) -> None:

@@ -30,6 +30,13 @@ the watchdog that flags units whose command counters stop advancing.
 attribution table to stderr.  All three are side channels: artifact
 bytes on stdout are unaffected.
 
+``--evidence PATH`` records the run's inference-provenance ledger —
+every accepted/rejected/degraded decision with its supporting
+observations and commands-to-discovery stamps — and writes it as a
+JSONL sidecar at PATH (query it with ``python -m repro.obs.evidence``).
+The ledger folds in unit submission order, so the sidecar is
+byte-identical for any worker count and on warm cache replays.
+
 ``--cache DIR`` (default: the ``REPRO_CACHE`` environment variable)
 serves work units from a content-addressed result store and publishes
 fresh results into it, so re-running an identical sweep — including
@@ -118,6 +125,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-verify", action="store_true",
                         help="re-execute one sampled cache hit and "
                              "fail if its stored envelope diverges")
+    parser.add_argument("--evidence", default=None, metavar="PATH",
+                        help="write the inference-provenance ledger "
+                             "(decision nodes + commands-to-discovery) "
+                             "as a JSONL sidecar at PATH")
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
     workers = args.workers
@@ -152,14 +163,22 @@ def main(argv: list[str] | None = None) -> int:
         log.info("cache-enabled", store=cache_dir,
                  resume=args.resume or False,
                  verify=args.cache_verify or False)
+    evidence = None
+    if args.evidence:
+        from ..obs.evidence import EvidenceLedger
+        evidence = EvidenceLedger()
+        log.info("evidence-enabled", sidecar=args.evidence)
     manifest = build_manifest(scale=scale.name, artifact=args.artifact,
                               include_time=False)
     log.info("run-start", artifact=args.artifact, scale=scale.name,
              modules=args.modules or "default", workers=workers,
              git=manifest["git"])
 
-    engine = dict(workers=workers, log=log, metrics=metrics,
-                  telemetry=telemetry, profiler=profiler, cache=cache)
+    from .engine import EngineConfig
+    engine = EngineConfig(workers=workers, log=log, metrics=metrics,
+                          telemetry=telemetry, profiler=profiler,
+                          cache=cache,
+                          evidence=evidence).harness_kwargs()
     started = time.time()
     with spans.span(args.artifact, scale=scale.name, workers=workers):
         if args.artifact == "resilience":
@@ -205,6 +224,18 @@ def main(argv: list[str] | None = None) -> int:
     if profiler is not None and not args.quiet:
         sys.stderr.write("command-bus profile:\n"
                          + profiler.render(wall_s=wall) + "\n")
+    if evidence is not None:
+        # Fold the provenance counters into the registry *before* the
+        # history row is recorded so the sidecar and the history agree
+        # on the commands-to-discovery totals.
+        from ..obs.evidence import write_evidence
+        evidence.emit_metrics(metrics)
+        write_evidence(args.evidence, evidence,
+                       meta={"artifact": args.artifact,
+                             "scale": scale.name,
+                             "modules": args.modules or "default"})
+        log.info("evidence-written", sidecar=args.evidence,
+                 **evidence.summary())
     if args.history:
         row_manifest = build_manifest(
             scale=scale.name, artifact=args.artifact,

@@ -23,11 +23,12 @@ from ..attacks import (AttackExecutor, DoubleSidedPattern,
                        ManySidedPattern, SingleSidedPattern,
                        VendorAPattern, default_context)
 from ..dram import ActBatch, AllOnes, DramChip, HammerMode
-from ..parallel import WorkUnit, run_units
+from ..parallel import WorkUnit
 from ..softmc import SoftMCHost
 from ..trr import ParaMitigation
 from ..vendors import get_module
 from ..vendors.spec import ModuleSpec, TrrVersion
+from .engine import EngineConfig
 from .report import render_table
 from .runner import evaluate_baseline, evaluate_module
 from .scale import STANDARD, EvalScale
@@ -165,7 +166,8 @@ ABLATIONS = (
 
 def run_ablations(scale: EvalScale = STANDARD, workers: int = 1,
                   log=None, metrics=None, telemetry=None,
-                  profiler=None, cache=None) -> list[AblationResult]:
+                  profiler=None, cache=None,
+                  evidence=None) -> list[AblationResult]:
     """All four ablation studies, sharded over *workers* processes.
 
     Results come back in AB1..AB4 order; ``workers=1`` runs each study
@@ -175,6 +177,7 @@ def run_ablations(scale: EvalScale = STANDARD, workers: int = 1,
                       meta={"ablation": name, "scale": scale.name,
                             "artifact": "ablations"})
              for name, fn in ABLATIONS]
-    return run_units(units, workers, log=log, metrics=metrics,
-                     telemetry=telemetry, profiler=profiler,
-                     cache=cache).values
+    engine = EngineConfig(workers=workers, log=log, metrics=metrics,
+                          telemetry=telemetry, profiler=profiler,
+                          cache=cache, evidence=evidence)
+    return engine.run(units).values

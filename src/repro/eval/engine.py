@@ -1,0 +1,67 @@
+"""Shared execution-engine wiring for the eval harnesses.
+
+Every harness used to repeat the same block: test whether any
+observability instrument (or a worker count above one) requires routing
+through :func:`repro.parallel.run_units`, then thread six keyword
+arguments into it.  :class:`EngineConfig` owns that decision and the
+threading in one place; the harnesses keep their public signatures and
+build one of these from their keyword arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..parallel import ParallelRun, run_units
+
+
+@dataclass
+class EngineConfig:
+    """One eval run's execution engine: worker count + instruments.
+
+    *metrics* / *telemetry* / *profiler* / *cache* / *evidence* are the
+    side-channel instruments :func:`repro.parallel.run_units` folds in
+    submission order; *log* is the stderr progress logger.  All of them
+    leave artifact bytes unchanged, so a harness only needs to know one
+    thing: :attr:`active` — whether to shard through the engine at all
+    or stay on the bare sequential path.
+    """
+
+    workers: int = 1
+    log: Any = None
+    metrics: Any = None
+    telemetry: Any = None
+    profiler: Any = None
+    cache: Any = None
+    evidence: Any = None
+
+    @property
+    def active(self) -> bool:
+        """Route work units through :func:`run_units`?
+
+        True when sharding (``workers > 1``) or any instrument needs
+        the engine's submission-order fold.  ``workers=1`` with no
+        instruments stays on the harness's bare sequential loop — the
+        exact historical code path.
+        """
+        return (self.workers > 1
+                or self.metrics is not None
+                or self.telemetry is not None
+                or self.profiler is not None
+                or self.cache is not None
+                or self.evidence is not None)
+
+    def run(self, units: Sequence, **kwargs) -> ParallelRun:
+        """Execute *units* with this engine's instruments threaded in."""
+        return run_units(units, self.workers, log=self.log,
+                         metrics=self.metrics, telemetry=self.telemetry,
+                         profiler=self.profiler, cache=self.cache,
+                         evidence=self.evidence, **kwargs)
+
+    def harness_kwargs(self) -> dict:
+        """The keyword arguments the harness entry points accept."""
+        return dict(workers=self.workers, log=self.log,
+                    metrics=self.metrics, telemetry=self.telemetry,
+                    profiler=self.profiler, cache=self.cache,
+                    evidence=self.evidence)

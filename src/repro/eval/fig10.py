@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from ..ecc import (ChipkillOutcome, DecodeStatus, assess_ecc,
                    dataword_flip_counts, required_rs_parity_symbols)
 from ..vendors import all_modules, get_module
+from .engine import EngineConfig
 from .report import render_histogram, render_table
 from .runner import ModuleEvaluation, evaluate_module, evaluate_modules
 from .scale import STANDARD, EvalScale
@@ -64,19 +65,17 @@ def run_fig10(module_ids: list[str] | None = None,
               evaluations: list[ModuleEvaluation] | None = None,
               positions: int | None = None, workers: int = 1,
               log=None, metrics=None, telemetry=None,
-              profiler=None, cache=None) -> Fig10Result:
+              profiler=None, cache=None, evidence=None) -> Fig10Result:
     """Reuses Figure 9 evaluations when given (same underlying sweep)."""
     if evaluations is None:
-        if (workers > 1 or metrics is not None or telemetry is not None
-                or profiler is not None or cache is not None):
+        engine = EngineConfig(workers=workers, log=log, metrics=metrics,
+                              telemetry=telemetry, profiler=profiler,
+                              cache=cache, evidence=evidence)
+        if engine.active:
             ids = (list(module_ids) if module_ids
                    else [spec.module_id for spec in all_modules()])
             evaluations = evaluate_modules(ids, scale, positions,
-                                           workers=workers, log=log,
-                                           metrics=metrics,
-                                           telemetry=telemetry,
-                                           profiler=profiler,
-                                           cache=cache)
+                                           **engine.harness_kwargs())
         else:
             specs = ([get_module(module_id) for module_id in module_ids]
                      if module_ids else all_modules())

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..vendors import all_modules, get_module
+from .engine import EngineConfig
 from .report import format_pct, render_table
 from .runner import ModuleEvaluation, evaluate_module, evaluate_modules
 from .scale import STANDARD, EvalScale
@@ -45,15 +46,15 @@ def run_fig9(module_ids: list[str] | None = None,
              scale: EvalScale = STANDARD,
              positions: int | None = None, workers: int = 1,
              log=None, metrics=None, telemetry=None,
-             profiler=None, cache=None) -> Fig9Result:
-    if (workers > 1 or metrics is not None or telemetry is not None
-            or profiler is not None or cache is not None):
+             profiler=None, cache=None, evidence=None) -> Fig9Result:
+    engine = EngineConfig(workers=workers, log=log, metrics=metrics,
+                          telemetry=telemetry, profiler=profiler,
+                          cache=cache, evidence=evidence)
+    if engine.active:
         ids = (list(module_ids) if module_ids
                else [spec.module_id for spec in all_modules()])
         return Fig9Result(evaluations=evaluate_modules(
-            ids, scale, positions, workers=workers, log=log,
-            metrics=metrics, telemetry=telemetry, profiler=profiler,
-            cache=cache))
+            ids, scale, positions, **engine.harness_kwargs()))
     specs = ([get_module(module_id) for module_id in module_ids]
              if module_ids else all_modules())
     evaluations = [evaluate_module(spec, scale, positions)

@@ -23,10 +23,11 @@ from ..core import InferenceConfig, InferredTrrProfile, TrrInference
 from ..dram import DramChip
 from ..faults import FaultInjector
 from ..obs import build_manifest
-from ..parallel import WorkUnit, run_units, unit_observability
+from ..parallel import WorkUnit, unit_observability
 from ..rng import derive_seed
 from ..softmc import SoftMCHost
 from ..vendors import ModuleSpec, get_module
+from .engine import EngineConfig
 from .report import render_table
 
 #: One module per vendor, covering the three TRR families of Table 1
@@ -222,7 +223,7 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
                    config: InferenceConfig | None = None,
                    workers: int = 1, log=None, metrics=None,
                    telemetry=None, profiler=None,
-                   cache=None) -> ResilienceReport:
+                   cache=None, evidence=None) -> ResilienceReport:
     """Chaos runs over one representative module per vendor.
 
     With ``workers > 1`` the chaos runs shard over a process pool; a
@@ -234,8 +235,10 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
     named in the report as STALLED with their last open span.
     """
     ids = list(module_ids or RESILIENCE_MODULES)
-    if (workers > 1 or metrics is not None or telemetry is not None
-            or profiler is not None or cache is not None):
+    engine = EngineConfig(workers=workers, log=log, metrics=metrics,
+                          telemetry=telemetry, profiler=profiler,
+                          cache=cache, evidence=evidence)
+    if engine.active:
         units = [WorkUnit(unit_id=f"resilience/{module_id}",
                           fn=run_module_resilience,
                           args=(module_id, fault_profile, seed, config),
@@ -243,9 +246,7 @@ def run_resilience(module_ids=None, fault_profile: str = "default",
                                 "fault_profile": fault_profile,
                                 "seed": seed, "artifact": "resilience"})
                  for module_id in ids]
-        run = run_units(units, workers, quarantine=True, log=log,
-                        metrics=metrics, telemetry=telemetry,
-                        profiler=profiler, cache=cache)
+        run = engine.run(units, quarantine=True)
         return ResilienceReport(
             modules=run.values,
             quarantined=[(outcome.unit_id.removeprefix("resilience/"),

@@ -21,9 +21,10 @@ from ..attacks import (AccessPattern, AttackExecutor,
 from ..attacks.sweep import VulnerabilityResult
 from ..core.mapping_re import CouplingTopology
 from ..errors import AttackConfigError
-from ..parallel import WorkUnit, run_units, unit_observability
+from ..parallel import WorkUnit, unit_observability
 from ..softmc import SoftMCHost
 from ..vendors import ModuleSpec, get_module
+from .engine import EngineConfig
 from .scale import EvalScale
 
 
@@ -168,7 +169,8 @@ def evaluate_module_unit(module_id: str, scale: EvalScale,
 def evaluate_modules(module_ids, scale: EvalScale,
                      positions: int | None = None, workers: int = 1,
                      log=None, metrics=None, telemetry=None,
-                     profiler=None, cache=None) -> list[ModuleEvaluation]:
+                     profiler=None, cache=None,
+                     evidence=None) -> list[ModuleEvaluation]:
     """Evaluate many modules, sharded over *workers* processes.
 
     Results come back in *module_ids* order whatever the scheduling;
@@ -189,9 +191,10 @@ def evaluate_modules(module_ids, scale: EvalScale,
                       args=(module_id, scale, positions),
                       meta={"module": module_id, "scale": scale.name})
              for module_id in module_ids]
-    return run_units(units, workers, log=log, metrics=metrics,
-                     telemetry=telemetry, profiler=profiler,
-                     cache=cache).values
+    engine = EngineConfig(workers=workers, log=log, metrics=metrics,
+                          telemetry=telemetry, profiler=profiler,
+                          cache=cache, evidence=evidence)
+    return engine.run(units).values
 
 
 def evaluate_baseline(spec: ModuleSpec, scale: EvalScale,

@@ -24,6 +24,9 @@ into auditable artifacts:
   divergence between two traces and summarizes downstream drift.
 - ``python -m repro.obs.history store.jsonl --gate`` — append-only run
   history with a cross-run regression sentinel.
+- ``python -m repro.obs.evidence sidecar.jsonl`` — inference
+  provenance report: every accepted/rejected hypothesis, its evidence
+  chain, and its commands-to-discovery budget.
 - ``python -m repro.obs`` — a traced end-to-end inference smoke run.
 
 Everything is stdlib + numpy only (numpy solely for the version stamp).
@@ -54,6 +57,19 @@ from .structlog import StructuredLog
 _LAZY_EXPORTS = {
     "TraceDiff": ".diff",
     "diff_traces": ".diff",
+    "EVIDENCE_SCHEMA": ".evidence",
+    "EvidenceLedger": ".evidence",
+    "command_stamp": ".evidence",
+    "ev_error": ".evidence",
+    "ev_probe": ".evidence",
+    "ev_refs": ".evidence",
+    "ev_rows": ".evidence",
+    "ev_value": ".evidence",
+    "ev_window": ".evidence",
+    "nodes_summary": ".evidence",
+    "read_evidence": ".evidence",
+    "render_evidence_report": ".evidence",
+    "write_evidence": ".evidence",
     "PROMETHEUS_CONTENT_TYPE": ".export",
     "parse_prometheus": ".export",
     "render_prometheus": ".export",
@@ -92,6 +108,41 @@ def __getattr__(name: str):
     return value
 
 
+class NullEvidence:
+    """Strict no-op provenance ledger: the disabled path for
+    :class:`~repro.obs.evidence.EvidenceLedger`.
+
+    Lives here (not in :mod:`.evidence`) so building ``NULL_OBS`` at
+    package import never pulls in the lazily-imported evidence module
+    — that module doubles as a ``python -m`` entry point.
+    """
+
+    enabled = False
+    nodes: tuple = ()
+    module = None
+
+    def decide(self, parameter, value=None, **kwargs) -> None:
+        return None
+
+    def merge(self, other, unit=None) -> None:
+        return None
+
+    def dump(self) -> list:
+        return []
+
+    def emit_metrics(self, metrics) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {"decisions": 0, "accepted": 0, "rejected": 0,
+                "degraded": 0, "empty_chains": 0, "commands": 0,
+                "parameters": {}}
+
+
+#: Shared disabled evidence ledger (the default ``evidence`` slot).
+NULL_EVIDENCE = NullEvidence()
+
+
 class Observability:
     """One run's observability bundle: recorder + metrics + spans.
 
@@ -103,7 +154,8 @@ class Observability:
     """
 
     def __init__(self, recorder=None, metrics=None, spans=None,
-                 manifest: dict | None = None, profiler=None) -> None:
+                 manifest: dict | None = None, profiler=None,
+                 evidence=None) -> None:
         self.recorder = recorder if recorder is not None else NullRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans = spans if spans is not None else SpanTracker()
@@ -111,12 +163,17 @@ class Observability:
         #: so the host hot path keeps its single identity check).
         self.profiler = profiler if profiler is not None \
             else NullProfiler()
+        #: Provenance ledger (opt-in: decision sites call it
+        #: unconditionally, the null ledger records nothing).
+        self.evidence = evidence if evidence is not None \
+            else NULL_EVIDENCE
         self.manifest = manifest
 
     @property
     def enabled(self) -> bool:
         return (self.recorder.enabled or self.metrics.enabled
-                or self.spans.enabled or self.profiler.enabled)
+                or self.spans.enabled or self.profiler.enabled
+                or self.evidence.enabled)
 
     def span(self, name: str, **attrs):
         return self.spans.span(name, **attrs)
@@ -156,23 +213,33 @@ NULL_OBS = Observability(recorder=NullRecorder(), metrics=NullMetrics(),
 
 def traced(path, *, manifest: dict | None = None,
            flush_every: int = 1024,
-           profile: bool = False) -> Observability:
+           profile: bool = False,
+           evidence: bool = False) -> Observability:
     """Convenience: a fully-enabled bundle recording to *path*.
 
     ``profile=True`` additionally attaches a :class:`CommandProfiler`
-    (per-opcode wall-time attribution on the host hot path).
+    (per-opcode wall-time attribution on the host hot path);
+    ``evidence=True`` attaches an
+    :class:`~repro.obs.evidence.EvidenceLedger` capturing inference
+    provenance.
     """
     spans = SpanTracker()
     profiler = CommandProfiler(spans=spans) if profile else None
+    ledger = None
+    if evidence:
+        from .evidence import EvidenceLedger
+        ledger = EvidenceLedger()
     return Observability(
         recorder=TraceRecorder(path, meta=manifest, flush_every=flush_every),
         metrics=MetricsRegistry(), spans=spans, manifest=manifest,
-        profiler=profiler)
+        profiler=profiler, evidence=ledger)
 
 
 __all__ = [
     "CollapsedStackSampler",
     "CommandProfiler",
+    "EVIDENCE_SCHEMA",
+    "EvidenceLedger",
     "HISTORY_SCHEMA",
     "Heartbeat",
     "MANIFEST_SCHEMA",
@@ -180,11 +247,13 @@ __all__ = [
     "TRACE_VERSION",
     "Histogram",
     "MetricsRegistry",
+    "NullEvidence",
     "NullMetrics",
     "NullProfiler",
     "NullRecorder",
     "NullSpans",
     "NullTelemetrySink",
+    "NULL_EVIDENCE",
     "NULL_OBS",
     "Observability",
     "Regression",
@@ -203,23 +272,34 @@ __all__ = [
     "assemble_timeline",
     "bucket_bound",
     "build_manifest",
+    "command_stamp",
     "data_digest",
     "diff_traces",
+    "ev_error",
+    "ev_probe",
+    "ev_refs",
+    "ev_rows",
+    "ev_value",
+    "ev_window",
     "flatten_metrics",
     "gate",
     "git_describe",
     "host_from_manifest",
     "mismatch_digest",
+    "nodes_summary",
     "parse_prometheus",
     "pool_breakdown",
     "profile_report",
     "progress",
+    "read_evidence",
     "read_spool",
     "read_trace",
+    "render_evidence_report",
     "render_progress",
     "render_prometheus",
     "replay_ledger",
     "replay_trace",
     "span_wallclocks",
     "traced",
+    "write_evidence",
 ]

@@ -4,10 +4,12 @@ Builds one registry module, runs the full reverse-engineering pipeline
 with every observability layer enabled, and writes the run's artifacts
 into ``--out``:
 
-- ``trace.jsonl``   — the command-level trace (with ledger summary),
-- ``metrics.json``  — the metrics registry dump,
-- ``spans.json``    — the stage-span timeline,
-- ``manifest.json`` — the run manifest.
+- ``trace.jsonl``    — the command-level trace (with ledger summary),
+- ``metrics.json``   — the metrics registry dump,
+- ``spans.json``     — the stage-span timeline,
+- ``manifest.json``  — the run manifest,
+- ``evidence.jsonl`` — the inference-provenance sidecar (decision
+  nodes + commands-to-discovery).
 
 It then replays the trace, cross-checks it against the host ledger, and
 prints the trace report; a mismatch (or an unrecovered profile) exits
@@ -68,7 +70,7 @@ def run_traced_inference(module_id: str, out_dir, seed: int = 0,
         seed=seed, module=module_id,
         fault_profile=fault_profile or "none",
         scale="smoke", chip=dict(chip_kwargs), fault_seed=fault_seed)
-    obs = traced(out / "trace.jsonl", manifest=manifest)
+    obs = traced(out / "trace.jsonl", manifest=manifest, evidence=True)
 
     chip = build_module(spec, **chip_kwargs)
     faults = None
@@ -79,6 +81,12 @@ def run_traced_inference(module_id: str, out_dir, seed: int = 0,
     profile = inference.run()
     obs.finalize(host)
 
+    # Evidence metrics fold in before the registry dump so the sidecar
+    # and metrics.json agree on the commands-to-discovery totals.
+    obs.evidence.emit_metrics(obs.metrics)
+    from .evidence import write_evidence
+    write_evidence(out / "evidence.jsonl", obs.evidence,
+                   meta={"module": module_id, "seed": seed})
     (out / "metrics.json").write_text(
         json.dumps(obs.metrics.as_dict(), indent=2), encoding="utf-8")
     (out / "spans.json").write_text(
@@ -116,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(f"profile: {result['profile'].summary()}")
     print(f"artifacts: {result['out']}")
+    evidence = result["obs"].evidence.summary()
+    print(f"evidence: {evidence['decisions']} decision(s), "
+          f"{evidence['accepted']} accepted, "
+          f"{evidence['commands']} command(s) attributed, "
+          f"{evidence['empty_chains']} empty chain(s)")
     if args.history:
         obs = result["obs"]
         RunHistory(args.history).record(

@@ -1,0 +1,12 @@
+"""``python -m repro.obs.evidence`` entry point.
+
+A separate ``__main__`` shim (rather than running the package module
+itself) keeps runpy from double-importing :mod:`repro.obs.evidence`,
+which the core inference modules already import at package load.
+"""
+
+import sys
+
+from . import main
+
+sys.exit(main())

@@ -179,16 +179,28 @@ def _baseline_mean(rows: list[dict], key: str, name: str,
     return sum(values) / len(values)
 
 
+#: Metric-name prefixes gated slowdown-only: these count the commands
+#: the inference pipeline spent to reach a conclusion, so *more* is a
+#: cost regression but *fewer* is an improvement (a cheaper experiment
+#: schedule), not a silently skipped stage.
+EFFORT_METRIC_PREFIXES = ("inference.commands_to_discovery",)
+
+
+def _effort_metric(name: str) -> bool:
+    return name.startswith(EFFORT_METRIC_PREFIXES)
+
+
 def gate(rows: list[dict], *, tolerance: float = 0.25,
          span_tolerance: float = 0.5, baseline: int = 5
          ) -> list[Regression]:
     """Flag the newest of *rows* (one kind) against a rolling baseline.
 
     *tolerance* bounds the relative delta of each counter/gauge metric
-    (either direction).  *span_tolerance* bounds span wall-clocks
-    (slower only — timing jitter makes "too fast" meaningless).
-    *baseline* is the rolling-window size.  Fewer than two rows → no
-    baseline → no flags.
+    (either direction — except :data:`EFFORT_METRIC_PREFIXES` names,
+    which flag increases only).  *span_tolerance* bounds span
+    wall-clocks (slower only — timing jitter makes "too fast"
+    meaningless).  *baseline* is the rolling-window size.  Fewer than
+    two rows → no baseline → no flags.
     """
     if len(rows) < 2:
         return []
@@ -198,6 +210,10 @@ def gate(rows: list[dict], *, tolerance: float = 0.25,
     for name, value in (newest.get("metrics") or {}).items():
         base = _baseline_mean(previous, "metrics", name, baseline)
         if base is None:
+            continue
+        if _effort_metric(name):
+            if value > abs(base) * (1.0 + tolerance) and value > base:
+                flags.append(Regression(kind, name, base, value))
             continue
         if base == 0:
             if value != 0:

@@ -340,6 +340,38 @@ def aggregate_metrics(events: list[dict]):
     return registry
 
 
+def aggregate_evidence(events: list[dict]) -> dict:
+    """Fold per-unit ``unit-done`` evidence summaries into one.
+
+    Each summary is the :func:`repro.obs.evidence.nodes_summary` shape
+    (decisions / outcome counts / commands-to-discovery, plus a
+    per-parameter breakdown); units without decision nodes carry no
+    ``evidence`` field and contribute nothing.
+    """
+    total: dict = {"decisions": 0, "accepted": 0, "rejected": 0,
+                   "degraded": 0, "empty_chains": 0, "commands": 0,
+                   "units": 0, "parameters": {}}
+    for unit_id, unit_events in sorted(_by_unit(events).items()):
+        summary = None
+        for event in unit_events:
+            if event.get("kind") == "unit-done" and event.get("evidence"):
+                summary = event["evidence"]
+        if not summary:
+            continue
+        total["units"] += 1
+        for key in ("decisions", "accepted", "rejected", "degraded",
+                    "empty_chains", "commands"):
+            total[key] += summary.get(key, 0)
+        for parameter, stats in (summary.get("parameters") or {}).items():
+            folded = total["parameters"].setdefault(
+                parameter, {"decisions": 0, "accepted": 0,
+                            "commands": 0, "evidence": 0})
+            for key in folded:
+                folded[key] += stats.get(key, 0)
+    total["parameters"] = dict(sorted(total["parameters"].items()))
+    return total
+
+
 def assemble_timeline(events: list[dict]) -> list[dict]:
     """Merge per-unit span timelines into one distributed timeline.
 

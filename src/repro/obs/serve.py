@@ -11,7 +11,11 @@ running ``python -m repro.eval`` sweep and scrape:
   ETA, per-unit current span, stalls when ``--stall-deadline`` is set);
 - ``/spans``    — the merged distributed span timeline across every
   worker, JSON;
-- ``/events``   — the raw merged JSONL event stream.
+- ``/events``   — the raw merged JSONL event stream;
+- ``/evidence`` — JSON fold of the per-unit inference-provenance
+  summaries (decision/outcome counts, commands-to-discovery, a
+  per-parameter breakdown) that ``unit-done`` events carry when the
+  sweep runs with ``--evidence``.
 
 The server holds no state: every request re-reads the spool, so it can
 be started before, during, or after the sweep it observes — the first
@@ -36,10 +40,10 @@ import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .export import PROMETHEUS_CONTENT_TYPE, render_prometheus
-from .live import (Watchdog, aggregate_metrics, assemble_timeline,
-                   progress, read_spool)
+from .live import (Watchdog, aggregate_evidence, aggregate_metrics,
+                   assemble_timeline, progress, read_spool)
 
-ENDPOINTS = ("/metrics", "/progress", "/spans", "/events")
+ENDPOINTS = ("/metrics", "/progress", "/spans", "/events", "/evidence")
 
 
 def render_endpoint(spool, path: str,
@@ -81,6 +85,9 @@ def render_endpoint(spool, path: str,
         body = "\n".join(json.dumps(event, separators=(",", ":"))
                          for event in events)
         return 200, "application/jsonl", body
+    if path == "/evidence":
+        return (200, "application/json",
+                json.dumps(aggregate_evidence(events), indent=2))
     if path in ("/", ""):
         return (200, "text/plain",
                 "repro.obs.serve endpoints: "

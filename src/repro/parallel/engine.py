@@ -105,15 +105,18 @@ def unit_observability() -> Observability:
     return _unit_obs
 
 
-def _ambient(metrics=None, spans=None, profiler=None) -> Observability | None:
+def _ambient(metrics=None, spans=None, profiler=None,
+             evidence=None) -> Observability | None:
     """An ambient bundle around whichever instruments a unit has."""
-    if metrics is None and spans is None and profiler is None:
+    if (metrics is None and spans is None and profiler is None
+            and evidence is None):
         return None
     return Observability(
         recorder=NULL_OBS.recorder,
         metrics=metrics if metrics is not None else NULL_OBS.metrics,
         spans=spans if spans is not None else NULL_OBS.spans,
-        profiler=profiler if profiler is not None else NULL_OBS.profiler)
+        profiler=profiler if profiler is not None else NULL_OBS.profiler,
+        evidence=evidence)
 
 
 def default_workers() -> int:
@@ -171,6 +174,9 @@ class UnitOutcome:
     #: Span timeline the unit recorded (``SpanTracker.as_timeline``
     #: form; only populated on cache-captured or cached runs).
     spans: list | None = None
+    #: Evidence nodes the unit's provenance ledger recorded (dumped
+    #: dict form; only populated when the run carries a ledger).
+    evidence: list | None = None
     #: True when this outcome was served from the result cache
     #: (``attempts == 0``: the unit never executed this run).
     cached: bool = False
@@ -248,6 +254,8 @@ class _UnitEnvelope:
     profile: dict | None = None
     #: Span timeline (capture mode only — cache publishing needs it).
     spans: list | None = None
+    #: Dumped evidence nodes (ledger-carrying runs only).
+    evidence: list | None = None
 
 
 def _publish(sink, kind: str, **fields) -> None:
@@ -261,7 +269,7 @@ def _publish(sink, kind: str, **fields) -> None:
 
 
 def _unit_done_fields(registry, spans, origin_ts, profiler, wall_s,
-                      error) -> dict:
+                      error, evidence=None) -> dict:
     """The ``unit-done`` event payload (progress + distributed spans)."""
     fields: dict = {
         "wall_s": round(wall_s, 6),
@@ -276,13 +284,16 @@ def _unit_done_fields(registry, spans, origin_ts, profiler, wall_s,
         fields["origin_ts"] = round(origin_ts, 6)
     if profiler is not None and profiler.commands:
         fields["profile"] = profiler.as_dict()
+    if evidence is not None and evidence.nodes:
+        from ..obs.evidence import nodes_summary
+        fields["evidence"] = nodes_summary(evidence.nodes)
     if error is not None:
         fields["error"] = f"{type(error).__name__}: {error}"
     return fields
 
 
 def _call_unit(unit: WorkUnit, telemetry=None, profile: bool = False,
-               capture: bool = False) -> Any:
+               capture: bool = False, evidence: bool = False) -> Any:
     """Top-level trampoline the pool pickles instead of the unit fn.
 
     Runs in the worker process: binds a fresh ambient bundle for the
@@ -291,7 +302,9 @@ def _call_unit(unit: WorkUnit, telemetry=None, profile: bool = False,
     worker additionally publishes ``unit-start`` / ``heartbeat`` /
     ``unit-done`` events into the spool — side channel only.  With
     *capture* (cache-backed runs), the span timeline ships home too so
-    the published cache envelope is complete.
+    the published cache envelope is complete.  With *evidence*, the
+    unit records provenance into a fresh ledger whose dumped nodes
+    ship home for the caller's submission-order fold.
     """
     global _unit_obs
     live = telemetry is not None
@@ -299,6 +312,10 @@ def _call_unit(unit: WorkUnit, telemetry=None, profile: bool = False,
     spans = SpanTracker() if (live or profile or capture) else None
     origin_ts = time.time() if spans is not None else None
     profiler = CommandProfiler(spans=spans) if profile else None
+    ledger = None
+    if evidence:
+        from ..obs.evidence import EvidenceLedger
+        ledger = EvidenceLedger()
     sink = telemetry.sink(unit.unit_id) if live else None
     heartbeat = None
     if sink is not None:
@@ -306,7 +323,8 @@ def _call_unit(unit: WorkUnit, telemetry=None, profile: bool = False,
         if telemetry.heartbeats:
             heartbeat = Heartbeat(sink, metrics=registry, spans=spans,
                                   interval_s=telemetry.interval_s).start()
-    _unit_obs = _ambient(metrics=registry, spans=spans, profiler=profiler)
+    _unit_obs = _ambient(metrics=registry, spans=spans, profiler=profiler,
+                         evidence=ledger)
     start = perf_counter()
     error: BaseException | None = None
     try:
@@ -322,7 +340,8 @@ def _call_unit(unit: WorkUnit, telemetry=None, profile: bool = False,
         if sink is not None:
             _publish(sink, "unit-done",
                      **_unit_done_fields(registry, spans, origin_ts,
-                                         profiler, wall_s, error))
+                                         profiler, wall_s, error,
+                                         evidence=ledger))
     dump = registry.as_dict()
     return _UnitEnvelope(
         value=value,
@@ -332,13 +351,15 @@ def _call_unit(unit: WorkUnit, telemetry=None, profile: bool = False,
                  if profiler is not None and profiler.commands else None),
         spans=(spans.as_timeline()
                if capture and spans is not None and spans.spans
-               else None))
+               else None),
+        evidence=(ledger.dump()
+                  if ledger is not None and ledger.nodes else None))
 
 
 def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
               max_attempts: int = 2, quarantine: bool = False,
               log=None, metrics=None, telemetry=None,
-              profiler=None, cache=None) -> ParallelRun:
+              profiler=None, cache=None, evidence=None) -> ParallelRun:
     """Execute *units*, return outcomes in input order.
 
     ``workers=1`` runs every unit inline in this process — the exact
@@ -376,6 +397,13 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
     one call execute once and fan out.  With ``cache.verify``, one hit
     per run is re-executed and diffed against its stored envelope
     (:class:`repro.errors.CacheError` on divergence).
+
+    *evidence*, when given, is a
+    :class:`repro.obs.evidence.EvidenceLedger` that receives every
+    unit's provenance nodes, folded in submission order (each node
+    stamped with its unit id at fold time) exactly like metrics — the
+    merged ledger is identical for any worker count, and cache hits
+    replay their stored nodes.
     """
     if workers < 1:
         raise ConfigError("workers must be >= 1")
@@ -388,6 +416,8 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
         metrics = None
     if profiler is not None and not profiler.enabled:
         profiler = None
+    if evidence is not None and not evidence.enabled:
+        evidence = None
     coordinator = telemetry.sink(None) if telemetry is not None else None
     if coordinator is not None:
         _publish(coordinator, "run-start", units_total=len(units),
@@ -397,21 +427,25 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
                           quarantine=quarantine, log=log,
                           metrics=metrics, telemetry=telemetry,
                           profiler=profiler, cache=cache,
-                          coordinator=coordinator)
+                          coordinator=coordinator, evidence=evidence)
     elif workers == 1:
         run = _run_inline(units, log=log, metrics=metrics,
-                          telemetry=telemetry, profiler=profiler)
+                          telemetry=telemetry, profiler=profiler,
+                          evidence=evidence)
     else:
         run = _run_pool(units, workers, max_attempts=max_attempts,
                         quarantine=quarantine, log=log,
                         telemetry=telemetry,
                         profile=profiler is not None,
-                        coordinator=coordinator)
+                        coordinator=coordinator,
+                        evidence=evidence is not None)
         for outcome in run.outcomes:
             if metrics is not None and outcome.metrics:
                 metrics.merge(outcome.metrics)
             if profiler is not None and outcome.profile:
                 profiler.merge(outcome.profile)
+            if evidence is not None and outcome.evidence:
+                evidence.merge(outcome.evidence, unit=outcome.unit_id)
     if coordinator is not None:
         done_fields: dict = {
             "units_done": sum(1 for o in run.outcomes if o.ok),
@@ -426,7 +460,8 @@ def run_units(units: Sequence[WorkUnit], workers: int = 1, *,
 
 def _run_inline(units: Sequence[WorkUnit], log=None, metrics=None,
                 telemetry=None, profiler=None, capture: bool = False,
-                profile: bool = False, on_result=None) -> ParallelRun:
+                profile: bool = False, on_result=None, evidence=None,
+                evidence_capture: bool = False) -> ParallelRun:
     global _unit_obs
     live = telemetry is not None
     outcomes = []
@@ -446,6 +481,14 @@ def _run_inline(units: Sequence[WorkUnit], log=None, metrics=None,
         origin_ts = time.time() if spans is not None else None
         unit_prof = (CommandProfiler(spans=spans)
                      if (profiler is not None or profile) else None)
+        # Evidence always records into a per-unit ledger (never the
+        # caller's directly): nodes are stamped with their unit id at
+        # fold time, which is what keeps a sequential run's merged
+        # ledger byte-identical to a pool run's.
+        unit_ev = None
+        if evidence is not None or evidence_capture:
+            from ..obs.evidence import EvidenceLedger
+            unit_ev = EvidenceLedger()
         sink = telemetry.sink(unit.unit_id) if live else None
         heartbeat = None
         if sink is not None:
@@ -456,7 +499,7 @@ def _run_inline(units: Sequence[WorkUnit], log=None, metrics=None,
                                       interval_s=telemetry.interval_s
                                       ).start()
         _unit_obs = _ambient(metrics=unit_metrics, spans=spans,
-                             profiler=unit_prof)
+                             profiler=unit_prof, evidence=unit_ev)
         start = perf_counter()
         error: BaseException | None = None
         try:
@@ -473,16 +516,21 @@ def _run_inline(units: Sequence[WorkUnit], log=None, metrics=None,
                 _publish(sink, "unit-done",
                          **_unit_done_fields(unit_metrics, spans,
                                              origin_ts, unit_prof,
-                                             wall_s, error))
+                                             wall_s, error,
+                                             evidence=unit_ev))
         if live and metrics is not None:
             metrics.merge(unit_metrics.as_dict())
         if profiler is not None and unit_prof is not None:
             profiler.merge(unit_prof)
+        if evidence is not None and unit_ev is not None and unit_ev.nodes:
+            evidence.merge(unit_ev.nodes, unit=unit.unit_id)
         if log is not None:
             log.info("unit-done", unit=unit.unit_id, attempts=1)
         outcome = UnitOutcome(unit_id=unit.unit_id, value=value,
                               manifest=unit.manifest(),
                               wall_s=round(wall_s, 6))
+        if unit_ev is not None and unit_ev.nodes:
+            outcome.evidence = unit_ev.dump()
         if capture:
             dump = unit_metrics.as_dict()
             outcome.metrics = dump if any(dump.values()) else None
@@ -499,7 +547,8 @@ def _run_inline(units: Sequence[WorkUnit], log=None, metrics=None,
 def _run_cached(units: Sequence[WorkUnit], workers: int, *,
                 max_attempts: int, quarantine: bool, log=None,
                 metrics=None, telemetry=None, profiler=None,
-                cache=None, coordinator=None) -> ParallelRun:
+                cache=None, coordinator=None,
+                evidence=None) -> ParallelRun:
     """Cache-backed execution: plan, execute misses, replay hits.
 
     Three-way partition in submission order — **hits** (stored envelope
@@ -557,7 +606,8 @@ def _run_cached(units: Sequence[WorkUnit], workers: int, *,
                            metrics=outcome.metrics,
                            spans=outcome.spans,
                            wall_s=outcome.wall_s,
-                           profile=outcome.profile)
+                           profile=outcome.profile,
+                           evidence=outcome.evidence)
 
     if not to_run:
         # 100% warm (or empty): no pool is ever spawned.
@@ -565,14 +615,16 @@ def _run_cached(units: Sequence[WorkUnit], workers: int, *,
     elif workers == 1:
         sub = _run_inline(to_run, log=log, telemetry=telemetry,
                           capture=True, profile=profiler is not None,
-                          on_result=publish_outcome)
+                          on_result=publish_outcome,
+                          evidence_capture=evidence is not None)
     else:
         sub = _run_pool(to_run, workers, max_attempts=max_attempts,
                         quarantine=quarantine, log=log,
                         telemetry=telemetry,
                         profile=profiler is not None,
                         coordinator=coordinator, capture=True,
-                        on_result=publish_outcome)
+                        on_result=publish_outcome,
+                        evidence=evidence is not None)
     executed = {outcome.unit_id: outcome for outcome in sub.outcomes}
 
     outcomes: list[UnitOutcome] = []
@@ -587,7 +639,9 @@ def _run_cached(units: Sequence[WorkUnit], workers: int, *,
                 unit_id=uid, value=envelope.value, attempts=0,
                 manifest=unit.manifest(), metrics=envelope.metrics,
                 spans=envelope.spans, wall_s=envelope.wall_s,
-                profile=envelope.profile, cached=True)
+                profile=envelope.profile,
+                evidence=getattr(envelope, "evidence", None),
+                cached=True)
             _replay_unit_events(telemetry, outcome)
             if log is not None:
                 log.info("unit-cached", unit=uid,
@@ -603,6 +657,7 @@ def _run_cached(units: Sequence[WorkUnit], workers: int, *,
                 error=leader.error, manifest=unit.manifest(),
                 metrics=leader.metrics, spans=leader.spans,
                 wall_s=leader.wall_s, profile=leader.profile,
+                evidence=leader.evidence,
                 cached=leader.cached, coalesced=True)
             # A follower's store key differs from its leader's (the
             # unit id is part of it), so publish its envelope too —
@@ -613,7 +668,8 @@ def _run_cached(units: Sequence[WorkUnit], workers: int, *,
                                    metrics=outcome.metrics,
                                    spans=outcome.spans,
                                    wall_s=outcome.wall_s,
-                                   profile=outcome.profile)
+                                   profile=outcome.profile,
+                                   evidence=outcome.evidence)
             _replay_unit_events(telemetry, outcome)
             if log is not None:
                 log.info("unit-coalesced", unit=uid,
@@ -625,6 +681,8 @@ def _run_cached(units: Sequence[WorkUnit], workers: int, *,
             metrics.merge(outcome.metrics)
         if profiler is not None and outcome.profile:
             profiler.merge(outcome.profile)
+        if evidence is not None and outcome.evidence:
+            evidence.merge(outcome.evidence, unit=outcome.unit_id)
     if getattr(cache, "verify", False) and hit_envelopes:
         _verify_sampled_hit(cache, hit_envelopes, by_id, keymap, log)
     return ParallelRun(outcomes=outcomes, workers=workers,
@@ -653,6 +711,9 @@ def _replay_unit_events(telemetry, outcome: UnitOutcome) -> None:
     if outcome.spans:
         fields["spans"] = outcome.spans
         fields["origin_ts"] = round(time.time(), 6)
+    if outcome.evidence:
+        from ..obs.evidence import nodes_summary
+        fields["evidence"] = nodes_summary(outcome.evidence)
     _publish(sink, "unit-done", **fields)
 
 
@@ -677,7 +738,7 @@ def _run_pool(units: Sequence[WorkUnit], workers: int, *,
               max_attempts: int, quarantine: bool, log=None,
               telemetry=None, profile: bool = False,
               coordinator=None, capture: bool = False,
-              on_result=None) -> ParallelRun:
+              on_result=None, evidence: bool = False) -> ParallelRun:
     slots: dict[str, UnitOutcome] = {}
     attempts = {unit.unit_id: 0 for unit in units}
     pending = list(units)
@@ -691,7 +752,8 @@ def _run_pool(units: Sequence[WorkUnit], workers: int, *,
                                       coordinator=coordinator,
                                       stalled=stalled,
                                       capture=capture,
-                                      on_result=on_result)
+                                      on_result=on_result,
+                                      evidence=evidence)
         for unit, error in failed:
             if not quarantine:
                 raise error
@@ -734,7 +796,7 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
                 max_attempts: int, log, telemetry=None,
                 profile: bool = False, coordinator=None,
                 stalled: list | None = None, capture: bool = False,
-                on_result=None):
+                on_result=None, evidence: bool = False):
     """One pool lifetime: run *pending* until done or the pool breaks.
 
     Returns ``(retryable, failed)`` — units to resubmit on a fresh pool,
@@ -756,7 +818,7 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
         for unit in pending:
             attempts[unit.unit_id] += 1
             futures[pool.submit(_call_unit, unit, telemetry,
-                                profile, capture)] = unit
+                                profile, capture, evidence)] = unit
         not_done = set(futures)
         while not_done:
             done, not_done = wait(not_done, timeout=wait_timeout,
@@ -787,11 +849,13 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
                     unit_wall = None
                     unit_profile = None
                     unit_spans = None
+                    unit_evidence = None
                     if isinstance(value, _UnitEnvelope):
                         unit_metrics = value.metrics
                         unit_wall = value.wall_s
                         unit_profile = value.profile
                         unit_spans = value.spans
+                        unit_evidence = value.evidence
                         value = value.value
                     outcome = UnitOutcome(
                         unit_id=unit.unit_id, value=value,
@@ -800,7 +864,8 @@ def _drain_pool(pending: list[WorkUnit], pool_size: int,
                         metrics=unit_metrics,
                         wall_s=unit_wall,
                         profile=unit_profile,
-                        spans=unit_spans)
+                        spans=unit_spans,
+                        evidence=unit_evidence)
                     slots[unit.unit_id] = outcome
                     if on_result is not None:
                         on_result(unit, outcome)
@@ -842,7 +907,7 @@ def parallel_map(fn: Callable[..., Any], calls: Sequence[tuple],
                  meta: Sequence[dict] | None = None,
                  max_attempts: int = 2, quarantine: bool = False,
                  log=None, metrics=None, telemetry=None,
-                 profiler=None) -> ParallelRun:
+                 profiler=None, evidence=None) -> ParallelRun:
     """Map *fn* over positional-argument tuples as one unit per call."""
     if len(calls) != len(unit_ids):
         raise ConfigError("calls and unit_ids must have equal length")
@@ -853,4 +918,5 @@ def parallel_map(fn: Callable[..., Any], calls: Sequence[tuple],
              for uid, args, m in zip(unit_ids, calls, metas)]
     return run_units(units, workers, max_attempts=max_attempts,
                      quarantine=quarantine, log=log, metrics=metrics,
-                     telemetry=telemetry, profiler=profiler)
+                     telemetry=telemetry, profiler=profiler,
+                     evidence=evidence)

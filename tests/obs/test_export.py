@@ -67,3 +67,23 @@ def test_prometheus_custom_namespace():
 def test_prometheus_empty_registry():
     assert parse_prometheus(render_prometheus(MetricsRegistry())) == \
         MetricsRegistry().as_dict()
+
+
+def test_prometheus_round_trips_evidence_metrics():
+    """The provenance counters survive a scrape losslessly."""
+    from repro.obs.evidence import EvidenceLedger, ev_refs
+
+    class _Host:
+        ref_count = 40
+        acts_per_bank = {0: 360}
+
+    ledger = EvidenceLedger(module="A5")
+    ledger.decide("period", 16, evidence=[ev_refs([3])], host=_Host())
+    ledger.decide("capacity", 16, outcome="rejected", host=_Host())
+    metrics = MetricsRegistry()
+    ledger.emit_metrics(metrics)
+    text = render_prometheus(metrics)
+    assert 'repro_counter{name="evidence.decisions"} 2' in text
+    assert ('repro_counter{name="inference.commands_to_discovery'
+            '.period"} 400') in text
+    assert parse_prometheus(text) == metrics.as_dict()

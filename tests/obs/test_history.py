@@ -185,3 +185,29 @@ def test_cli_trend_gate_and_exit_codes(tmp_path, capsys):
     path.write_text("garbage\n", encoding="utf-8")
     assert main([str(path)]) == 2
     assert "history error" in capsys.readouterr().err
+
+
+def _effort_row(cost):
+    return {"kind": "eval.table1",
+            "metrics": {"inference.commands_to_discovery.period": cost}}
+
+
+def test_gate_effort_metrics_flag_increases_only():
+    # +100% commands-to-discovery: a cost regression, flagged.
+    flags = gate([_effort_row(1000), _effort_row(1000),
+                  _effort_row(2000)])
+    assert [flag.metric for flag in flags] == \
+        ["inference.commands_to_discovery.period"]
+    # A cheaper schedule is an improvement, never flagged.
+    assert gate([_effort_row(1000), _effort_row(1000),
+                 _effort_row(100)]) == []
+    # Within tolerance: clean.
+    assert gate([_effort_row(1000), _effort_row(1000),
+                 _effort_row(1200)]) == []
+
+
+def test_gate_effort_metrics_do_not_relax_other_counters():
+    rows = [{"kind": "k", "metrics": {"host.acts": 100}},
+            {"kind": "k", "metrics": {"host.acts": 100}},
+            {"kind": "k", "metrics": {"host.acts": 40}}]
+    assert [flag.metric for flag in gate(rows)] == ["host.acts"]

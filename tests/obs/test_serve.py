@@ -128,3 +128,33 @@ def test_main_once_renders_every_endpoint(tmp_path, capsys):
     for endpoint in ENDPOINTS:
         assert f"== {endpoint}" in out
     assert 'repro_counter{name="host.acts"} 5000' in out
+
+
+def test_evidence_endpoint_folds_unit_summaries(tmp_path):
+    from repro.obs.evidence import EvidenceLedger, ev_refs
+
+    coordinator = TelemetrySink(tmp_path, TraceContext("run"))
+    coordinator.publish("run-start", units_total=2, workers=1)
+    for unit, parameter in (("t/a", "period"), ("t/b", "capacity")):
+        ledger = EvidenceLedger()
+        ledger.decide(parameter, 16, evidence=[ev_refs([2, 4])])
+        sink = TelemetrySink(tmp_path, TraceContext("run", unit))
+        sink.publish("unit-start")
+        sink.publish("unit-done", wall_s=1.0,
+                     evidence=ledger.summary())
+    status, content_type, body = render_endpoint(tmp_path, "/evidence")
+    assert status == 200 and content_type == "application/json"
+    folded = json.loads(body)
+    assert folded["units"] == 2
+    assert folded["decisions"] == 2
+    assert folded["accepted"] == 2
+    assert folded["empty_chains"] == 0
+    assert set(folded["parameters"]) == {"period", "capacity"}
+    assert "/evidence" in ENDPOINTS
+
+
+def test_evidence_endpoint_empty_spool(tmp_path):
+    status, _, body = render_endpoint(tmp_path, "/evidence")
+    assert status == 200
+    folded = json.loads(body)
+    assert folded["units"] == 0 and folded["decisions"] == 0

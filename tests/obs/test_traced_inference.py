@@ -66,3 +66,29 @@ def test_traced_inference_replays_to_ledger(module_id, tmp_path):
     manifest = json.loads((out / "manifest.json").read_text())
     assert manifest["module"] == module_id
     assert manifest["scale"] == "smoke"
+
+    # The provenance sidecar: every Table-1 parameter the run inferred
+    # carries a non-empty evidence chain, the chain's REF indices
+    # resolve inside the trace, and the metrics registry agrees with
+    # the ledger's commands-to-discovery totals.
+    from repro.obs.evidence import check_trace, read_evidence
+    header, nodes = read_evidence(out / "evidence.jsonl")
+    assert header["module"] == module_id
+    assert nodes, "traced inference recorded no decision nodes"
+    accepted = [node for node in nodes
+                if node["outcome"] == "accepted"]
+    assert accepted
+    assert all(node["evidence"] for node in accepted), \
+        "accepted conclusion with an empty evidence chain"
+    parameters = {node["parameter"] for node in accepted}
+    assert {"refresh_cycle", "mapping_scheme"} <= parameters
+    ok, message = check_trace(nodes, out / "trace.jsonl")
+    assert ok, message
+    counters = metrics["counters"]
+    assert counters["evidence.decisions"] == len(nodes)
+    ledger_cost = sum(int(node.get("commands_to_discovery", 0))
+                      for node in nodes)
+    metric_cost = sum(value for name, value in counters.items()
+                      if name.startswith(
+                          "inference.commands_to_discovery."))
+    assert metric_cost == ledger_cost
